@@ -1,0 +1,13 @@
+"""Bench: design-choice ablations (informed streaming, lazy removal,
+seed scan strategy)."""
+
+from repro.experiments import ablations
+
+
+def bench_ablations(benchmark, record_experiment):
+    result = benchmark.pedantic(ablations.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    # Every per-graph note must report all four checks positive.
+    for note in result.notes:
+        assert note.count("True") == 4, note

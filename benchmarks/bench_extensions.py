@@ -1,0 +1,11 @@
+"""Bench: extensions — hybrid hypergraph partitioning and restreaming."""
+
+from repro.experiments import extensions
+
+
+def bench_extensions(benchmark, record_experiment):
+    result = benchmark.pedantic(extensions.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    assert any("clustered hypergraph: True" in n for n in result.notes)
+    assert any("HEP still ahead" in n and "True" in n for n in result.notes)

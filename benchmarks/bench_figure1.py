@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 1 (vertex cut vs edge cut)."""
+
+from repro.experiments import figure1
+
+
+def bench_figure1_cut_types(benchmark, record_experiment):
+    result = benchmark.pedantic(figure1.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    for row in result.rows:
+        assert int(row["vertex_cut(edge part.)"]) < int(
+            row["edge_cut(vertex part.)"]
+        ), row

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 2 (degree vs. replication factor, k=32)."""
+
+from repro.experiments import figure2
+
+
+def bench_figure2_degree_vs_rf(benchmark, record_experiment):
+    result = benchmark.pedantic(figure2.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows, "figure2 produced no rows"
+    # Shape: within every (graph, partitioner) series RF rises with degree.
+    assert all("True" in note for note in result.notes if "RF rises" in note)

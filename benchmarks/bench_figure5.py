@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 5 (degree of C vs S\\C under NE, k=32)."""
+
+from repro.experiments import figure5
+
+
+def bench_figure5_core_vs_secondary_degree(benchmark, record_experiment):
+    result = benchmark.pedantic(figure5.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    for row in result.rows:
+        assert float(row["norm_deg_S_minus_C"]) > float(row["norm_deg_C"]), row

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 7 (clean-up removal fraction, k=32)."""
+
+from repro.experiments import figure7
+
+
+def bench_figure7_cleanup_fraction(benchmark, record_experiment):
+    result = benchmark.pedantic(figure7.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    for row in result.rows:
+        fraction = float(row["removed_fraction"])
+        assert 0.0 < fraction < 1.0, row

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 8 (the headline RF/run-time/memory sweep).
+
+Default sweep: OK + IT at k in {4, 32} over all ten partitioner
+configurations; set ``REPRO_BENCH_FULL=1`` for the paper's full grid.
+"""
+
+from repro.experiments import figure8
+
+
+def bench_figure8_partitioner_sweep(benchmark, record_experiment):
+    result = benchmark.pedantic(figure8.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    # Every headline ordering the paper plots must hold on every cell.
+    chains = [n for n in result.notes if "RF chain" in n]
+    assert chains and all("holds=True" in n for n in chains), chains

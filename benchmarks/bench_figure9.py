@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 9 (HEP vs simple hybrid, Section 5.4)."""
+
+from repro.experiments import figure9
+
+
+def bench_figure9_simple_hybrid(benchmark, record_experiment):
+    result = benchmark.pedantic(figure9.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    # At the streaming-heavy end HEP's informed HDRF must clearly beat the
+    # baseline's random streaming.
+    low_tau = [r for r in result.rows if float(r["tau"]) == 1.0]
+    assert low_tau
+    assert all(float(r["norm_RF(baseline/HEP)"]) > 1.1 for r in low_tau), low_tau

@@ -1,0 +1,11 @@
+"""Bench: stream-order sensitivity of streaming partitioners vs HEP."""
+
+from repro.experiments import stream_order
+
+
+def bench_stream_order(benchmark, record_experiment):
+    result = benchmark.pedantic(stream_order.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    assert any("HEP less order-sensitive than HDRF: True" in n
+               for n in result.notes)

@@ -1,0 +1,10 @@
+"""Bench: empirical scaling behind Table 1's complexity comparison."""
+
+from repro.experiments import table1
+
+
+def bench_table1_scaling(benchmark, record_experiment):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    assert any("near-linearly in |E|: True" in n for n in result.notes)

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 2 (tau-precompute run-time)."""
+
+from repro.experiments import table2
+
+
+def bench_table2_tau_precompute(benchmark, record_experiment):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    # The precompute must be negligible next to partitioning itself.
+    assert all(float(r["ratio"]) < 0.5 for r in result.rows), result.rows

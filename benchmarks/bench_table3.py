@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 3 (dataset corpus and stand-in statistics)."""
+
+from repro.experiments import table3
+
+
+def bench_table3_datasets(benchmark, record_experiment):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert len(result.rows) == 10  # the full Table 3 corpus
+    social_skews = [
+        float(r["skew(p99/med)"]) for r in result.rows if r["type"] == "Social"
+    ]
+    assert all(s > 5 for s in social_skews), "social stand-ins must be heavy-tailed"

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 4 (simulated Spark/GraphX processing)."""
+
+from repro.experiments import table4
+
+
+def bench_table4_distributed_processing(benchmark, record_experiment):
+    result = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    # Long jobs (PageRank) must be won by a low-RF partitioner everywhere.
+    pr_notes = [n for n in result.notes if "fastest PageRank" in n]
+    assert pr_notes and all("True" in n for n in pr_notes), pr_notes

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 5 (HEP vertex balancing)."""
+
+from repro.experiments import table5
+
+
+def bench_table5_vertex_balance(benchmark, record_experiment):
+    result = benchmark.pedantic(table5.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    # The streaming-heavy configuration must clearly beat tau=100.
+    assert all("tau=1 clearly better than tau=100=True" in n
+               for n in result.notes if "tau=1" in n), result.notes

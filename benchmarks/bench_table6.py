@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 6 (paging vs the tau knob)."""
+
+from repro.experiments import table6
+
+
+def bench_table6_paging(benchmark, record_experiment):
+    result = benchmark.pedantic(table6.run, rounds=1, iterations=1)
+    record_experiment(result)
+    paged = [r for r in result.rows if isinstance(r["hard_faults"], int)
+             and r["runtime_s"] != "-"]
+    faults = [int(r["hard_faults"]) for r in paged]
+    # The blow-up shape: monotone fault growth, strong at the tight end.
+    assert faults == sorted(faults), faults
+    assert faults[-1] > 3 * max(faults[0], 1), faults

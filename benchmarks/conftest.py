@@ -1,0 +1,46 @@
+"""Benchmark-suite plumbing.
+
+Each bench runs one experiment (``repro.experiments``) under
+pytest-benchmark timing and registers the resulting paper-vs-measured
+table.  The tables are written to ``results/<experiment>.txt`` and
+printed in the terminal summary, so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` captures both the timing table
+and the reproduced artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_RESULTS: list = []
+_RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def record_experiment():
+    """Fixture: benches call this with their ExperimentResult."""
+
+    def _record(result):
+        _RESULTS.append(result)
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        path = _RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.format() + "\n", encoding="utf-8")
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("REPRODUCED PAPER ARTIFACTS (paper-vs-measured; also in results/)")
+    write("=" * 78)
+    for result in _RESULTS:
+        write("")
+        for line in result.format().splitlines():
+            write(line)

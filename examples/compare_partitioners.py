@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Compare every partitioner family on one dataset.
+
+A minimal version of the paper's Figure 8 sweep over a single graph,
+printing replication factor, balance, run-time, and the Section 4.2
+memory model side by side.
+
+Run:  python examples/compare_partitioners.py [dataset] [k]
+      python examples/compare_partitioners.py IT 32
+"""
+
+import sys
+
+from repro.experiments.common import run_partitioner
+from repro.graph import datasets
+from repro.metrics import format_table
+
+PARTITIONERS = (
+    "HEP-100", "HEP-10", "HEP-1",
+    "HDRF", "Greedy", "ADWISE", "DBH", "Grid", "Random",
+    "NE", "NE++", "SNE", "DNE", "METIS",
+)
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "OK"
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    graph = datasets.load(dataset)
+    print(f"graph: {graph!r}, k={k}; running {len(PARTITIONERS)} partitioners\n")
+
+    rows = []
+    for name in PARTITIONERS:
+        report = run_partitioner(name, graph, k)
+        rows.append(report.row())
+        print(f"  {name:<8} done  (RF={report.replication_factor:.3f},"
+              f" {report.runtime_s:.2f}s)")
+
+    print()
+    print(format_table(rows, title=f"All partitioners on {dataset} (k={k})"))
+    best = min(rows, key=lambda r: float(r["RF"]))
+    fastest = min(rows, key=lambda r: float(r["time_s"]))
+    print(f"\nbest replication factor: {best['partitioner']} ({best['RF']})")
+    print(f"fastest                : {fastest['partitioner']} ({fastest['time_s']}s)")
+
+
+if __name__ == "__main__":
+    main()

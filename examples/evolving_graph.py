@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Maintaining a partitioning while the graph evolves.
+
+Real deployments rarely re-partition from scratch: edges arrive (new
+follows, new links) and leave.  This example partitions a social-network
+stand-in with HEP once, then absorbs a stream of insertions and
+deletions through :class:`repro.core.IncrementalHep` — the
+incrementalization direction the paper's related work points at — and
+compares the maintained quality against periodic full re-partitioning.
+
+Run:  python examples/evolving_graph.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import HepPartitioner, datasets, replication_factor
+from repro.core import IncrementalHep
+
+
+def main() -> None:
+    graph = datasets.load("LJ")
+    k = 16
+    print(f"graph: {graph!r}, k={k}")
+
+    start = time.perf_counter()
+    inc = IncrementalHep(graph, k=k, tau=2.0)
+    build_time = time.perf_counter() - start
+    print(f"initial HEP partitioning: RF={inc.replication_factor():.3f} "
+          f"({build_time:.2f}s)\n")
+
+    rng = np.random.default_rng(9)
+    existing = {(min(u, v), max(u, v)) for u, v in graph.edges.tolist()}
+    churn_per_round = graph.num_edges // 50  # 2% churn per round
+
+    print(f"{'round':>5} | {'edges':>7} | {'RF (maintained)':>15} | "
+          f"{'RF (from scratch)':>17} | {'update ms/edge':>14}")
+    for rnd in range(1, 4):
+        start = time.perf_counter()
+        changed = 0
+        while changed < churn_per_round:
+            u, v = (int(x) for x in rng.integers(0, graph.num_vertices, size=2))
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in existing and rng.random() < 0.3:
+                inc.delete_edge(u, v)
+                existing.discard(key)
+                changed += 1
+            elif key not in existing:
+                inc.insert_edge(u, v)
+                existing.add(key)
+                changed += 1
+        update_time = time.perf_counter() - start
+
+        snapshot = inc.current_assignment()
+        scratch = HepPartitioner(tau=2.0).partition(snapshot.graph, k)
+        print(
+            f"{rnd:>5} | {inc.num_edges:>7,} | {inc.replication_factor():>15.3f} |"
+            f" {replication_factor(scratch):>17.3f} |"
+            f" {update_time / churn_per_round * 1000:>14.3f}"
+        )
+
+    print("\nmaintained RF tracks the from-scratch RF at a per-update cost")
+    print("of one score evaluation — no re-partitioning required.")
+
+
+if __name__ == "__main__":
+    main()

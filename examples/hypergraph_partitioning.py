@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The hybrid paradigm on hypergraphs (the paper's future-work direction).
+
+Hypergraphs model group interactions — co-authorship, co-purchase,
+net-lists — where one "edge" connects many vertices.  This example
+partitions a clustered hypergraph two ways:
+
+* pure streaming min-max (the memory-light baseline), and
+* the hybrid partitioner: degree-threshold split, HYPE-style
+  neighborhood expansion in memory, then informed streaming for the
+  hyperedges whose pins are all high-degree.
+
+Run:  python examples/hypergraph_partitioning.py
+"""
+
+import time
+
+from repro.hypergraph import (
+    HybridHypergraphPartitioner,
+    MinMaxStreamingHypergraphPartitioner,
+    clustered_hypergraph,
+    hyper_balance,
+    hyper_replication_factor,
+    split_hyperedges,
+)
+
+
+def main() -> None:
+    hypergraph = clustered_hypergraph(
+        num_clusters=12,
+        cluster_size=80,
+        hyperedges_per_cluster=220,
+        mean_pins=4.0,
+        crossover=0.05,
+        seed=21,
+    )
+    k = 8
+    print(f"hypergraph: {hypergraph!r}, k={k}")
+
+    high, streaming = split_hyperedges(hypergraph, tau=1.2)
+    print(f"high-degree vertices  : {int(high.sum()):,} "
+          f"({high.mean():.1%} of vertices)")
+    print(f"streaming hyperedges  : {int(streaming.sum()):,} "
+          f"({streaming.mean():.1%} of hyperedges, the h2h analogue)\n")
+
+    for label, partitioner in (
+        ("MinMaxStream", MinMaxStreamingHypergraphPartitioner()),
+        ("HybridHG tau=1.2", HybridHypergraphPartitioner(tau=1.2)),
+    ):
+        start = time.perf_counter()
+        parts = partitioner.partition(hypergraph, k)
+        elapsed = time.perf_counter() - start
+        rf = hyper_replication_factor(hypergraph, parts, k)
+        alpha = hyper_balance(hypergraph, parts, k)
+        print(f"{label:>16}: RF={rf:.3f}  alpha={alpha:.3f}  time={elapsed:.2f}s")
+
+    print("\nthe hybrid partitioner exploits cluster locality the stream")
+    print("cannot see — the same effect HEP has on web graphs.")
+
+
+if __name__ == "__main__":
+    main()

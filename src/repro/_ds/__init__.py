@@ -1,0 +1,13 @@
+"""Low-level data structures used by the in-memory partitioning phase.
+
+The paper's Section 4.2 enumerates the structures an efficient HEP
+implementation needs: dense bitsets for the core set ``C`` and secondary
+sets ``S_i``, and a binary min-heap with a vertex-id lookup table so that
+``d_ext`` updates are ``O(log |V|)``.  These are implemented here once and
+reused by NE, NE++, SNE and DNE.
+"""
+
+from repro._ds.bitset import Bitset
+from repro._ds.indexed_heap import IndexedMinHeap
+
+__all__ = ["Bitset", "IndexedMinHeap"]

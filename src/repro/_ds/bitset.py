@@ -1,0 +1,113 @@
+"""Dense bitset over vertex ids ``0 .. n-1``.
+
+The paper (Section 4.2) tracks the core set ``C`` and each secondary set
+``S_i`` as dense bitsets: one bit per vertex, ``|V| * (k+1) / 8`` bytes in
+total.  This implementation is backed by a ``numpy`` boolean array, which
+keeps single-bit operations O(1) and gives vectorized bulk queries for
+free (``count``, ``to_indices``, boolean masking).
+
+A boolean array spends one byte per vertex rather than one bit; the
+analytic memory model in :mod:`repro.core.memory_model` reports the
+*paper's* bit-level footprint, which is what the C++ system would use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Bitset"]
+
+
+class Bitset:
+    """Fixed-universe set of integers in ``[0, size)``.
+
+    >>> s = Bitset(8)
+    >>> s.add(3); s.add(5)
+    >>> 3 in s, 4 in s
+    (True, False)
+    >>> s.count()
+    2
+    """
+
+    __slots__ = ("_bits", "_size")
+
+    def __init__(self, size: int, init: Iterable[int] | None = None) -> None:
+        if size < 0:
+            raise ConfigurationError(f"bitset size must be >= 0, got {size}")
+        self._size = size
+        self._bits = np.zeros(size, dtype=bool)
+        if init is not None:
+            for item in init:
+                self.add(item)
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "Bitset":
+        """Wrap an existing boolean mask (no copy)."""
+        if mask.dtype != bool or mask.ndim != 1:
+            raise ConfigurationError("mask must be a 1-D boolean array")
+        out = cls(0)
+        out._size = int(mask.shape[0])
+        out._bits = mask
+        return out
+
+    @property
+    def size(self) -> int:
+        """Universe size (number of addressable ids)."""
+        return self._size
+
+    @property
+    def mask(self) -> np.ndarray:
+        """The underlying boolean array (shared, not a copy)."""
+        return self._bits
+
+    def add(self, item: int) -> None:
+        """Insert ``item``; raises ``IndexError`` if out of universe."""
+        if not 0 <= item < self._size:
+            raise IndexError(f"id {item} outside universe [0, {self._size})")
+        self._bits[item] = True
+
+    def discard(self, item: int) -> None:
+        """Remove ``item`` if present; no-op otherwise."""
+        if 0 <= item < self._size:
+            self._bits[item] = False
+
+    def add_many(self, items: Iterable[int] | np.ndarray) -> None:
+        """Insert every id in ``items`` (vectorized for arrays)."""
+        idx = np.asarray(items, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self._size:
+            raise IndexError("id outside universe")
+        self._bits[idx] = True
+
+    def __contains__(self, item: int) -> bool:
+        return 0 <= item < self._size and bool(self._bits[item])
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return int(self._bits.sum())
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.to_indices().tolist())
+
+    def to_indices(self) -> np.ndarray:
+        """Sorted array of all ids currently in the set."""
+        return np.flatnonzero(self._bits)
+
+    def clear(self) -> None:
+        """Remove all elements."""
+        self._bits[:] = False
+
+    def nbytes_bitlevel(self) -> int:
+        """Footprint the paper's C++ bitset would use (one bit per id)."""
+        return (self._size + 7) // 8
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bitset(size={self._size}, count={self.count()})"

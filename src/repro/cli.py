@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro`` / ``hep-partition``.
+
+Subcommands mirror the workflows a user of the original C++ system has:
+
+* ``partition`` — partition an edge-list file (or a named stand-in
+  dataset) and write one partition id per edge,
+* ``compare``   — run several partitioners on one graph side by side,
+* ``select-tau`` — pick the largest tau fitting a memory budget (§4.4),
+* ``experiment`` — regenerate one of the paper's tables/figures,
+* ``datasets``  — list the Table 3 stand-ins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core import HepPartitioner, precompute_profile, select_tau
+from repro.errors import ReproError
+from repro.experiments import REGISTRY
+from repro.experiments.common import PARTITIONER_FACTORIES, run_partitioner
+from repro.graph import datasets, read_binary_edgelist, read_text_edgelist
+from repro.graph.edgelist import Graph
+from repro.metrics import (
+    edge_balance,
+    format_table,
+    replication_factor,
+    vertex_balance,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(source: str) -> Graph:
+    """Dataset name, text edge list, or binary edge list."""
+    if source.upper() in datasets.available():
+        return datasets.load(source)
+    path = Path(source)
+    if not path.exists():
+        raise ReproError(
+            f"{source!r} is neither a dataset name "
+            f"({', '.join(datasets.available())}) nor a file"
+        )
+    if path.suffix in (".bin", ".edges", ".bel"):
+        return read_binary_edgelist(path, name=path.stem)
+    return read_text_edgelist(path, name=path.stem)
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    if args.method.upper() == "HEP":
+        partitioner = HepPartitioner(tau=args.tau)
+    else:
+        from repro.experiments.common import make_partitioner
+
+        partitioner = make_partitioner(args.method)
+    start = time.perf_counter()
+    assignment = partitioner.partition(graph, args.k)
+    elapsed = time.perf_counter() - start
+    print(f"partitioner        : {partitioner.name}")
+    print(f"graph              : {graph!r}")
+    print(f"replication factor : {replication_factor(assignment):.4f}")
+    print(f"edge balance alpha : {edge_balance(assignment):.4f}")
+    print(f"vertex balance     : {vertex_balance(assignment):.4f}")
+    print(f"run-time           : {elapsed:.3f}s")
+    if args.output:
+        from repro.graph.partition_io import write_assignment
+
+        write_assignment(assignment, args.output)
+        print(f"assignment written : {args.output} (+ .meta.json sidecar)")
+    if args.shards_dir:
+        from repro.graph.partition_io import write_partition_edgelists
+
+        paths = write_partition_edgelists(assignment, args.shards_dir)
+        print(f"shards written     : {len(paths)} binary edge lists in "
+              f"{args.shards_dir}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    rows = []
+    for name in args.partitioners:
+        report = run_partitioner(name, graph, args.k)
+        rows.append(report.row())
+    print(format_table(rows, title=f"{graph.name or args.graph} at k={args.k}"))
+    return 0
+
+
+def _cmd_select_tau(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    budget = int(args.budget_kib * 1024)
+    profile = precompute_profile(graph, args.k)
+    print(format_table(profile.rows(), title="projected HEP footprint per tau"))
+    tau, projected = select_tau(graph, budget, args.k)
+    print(f"\nbudget {budget:,} bytes -> tau={tau:g} "
+          f"(projected {projected:,} bytes)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.id not in REGISTRY:
+        print(f"unknown experiment {args.id!r}; available: {', '.join(REGISTRY)}")
+        return 2
+    result = REGISTRY[args.id]()
+    print(result.format())
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in datasets.available():
+        spec = datasets.DATASETS[name]
+        rows.append(
+            {
+                "name": name,
+                "type": spec.kind,
+                "paper_|V|": spec.paper_vertices,
+                "paper_|E|": spec.paper_edges,
+                "stand-in": spec.description,
+            }
+        )
+    print(format_table(rows, title="Table 3 stand-in datasets"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid Edge Partitioner (SIGMOD'21) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition a graph's edges")
+    p.add_argument("graph", help="dataset name or edge-list file")
+    p.add_argument("--k", type=int, default=32, help="number of partitions")
+    p.add_argument("--method", default="HEP",
+                   help=f"HEP or one of {', '.join(PARTITIONER_FACTORIES)}")
+    p.add_argument("--tau", type=float, default=10.0,
+                   help="HEP degree threshold factor")
+    p.add_argument("--output", help="write per-edge partition ids here")
+    p.add_argument("--shards-dir", help="write one binary edge list per partition")
+    p.set_defaults(func=_cmd_partition)
+
+    p = sub.add_parser("compare", help="run several partitioners side by side")
+    p.add_argument("graph")
+    p.add_argument("--k", type=int, default=32)
+    p.add_argument(
+        "--partitioners",
+        nargs="+",
+        default=["HEP-100", "HEP-10", "HEP-1", "HDRF", "DBH", "NE"],
+    )
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("select-tau", help="pick tau for a memory budget (§4.4)")
+    p.add_argument("graph")
+    p.add_argument("--budget-kib", type=float, required=True)
+    p.add_argument("--k", type=int, default=32)
+    p.set_defaults(func=_cmd_select_tau)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id", help=f"one of: {', '.join(REGISTRY)}")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("datasets", help="list the Table 3 stand-ins")
+    p.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""HEP: the Hybrid Edge Partitioner (the paper's system, Section 3).
+
+HEP chains the two phases this library implements:
+
+1. **NE++** partitions every edge incident to at least one low-degree
+   vertex in memory, on the pruned CSR (:mod:`repro.core.ne_plus_plus`).
+2. **Informed stateful streaming** partitions the high/high edge file
+   with HDRF scoring (Algorithm 4), with its state — replica sets,
+   exact degrees, partition loads — seeded from phase one
+   (:meth:`repro.partition.state.StreamingState.informed`).  This is what
+   overcomes the "uninformed assignment problem" of pure streaming.
+
+The degree threshold factor ``tau`` is the memory knob: the paper's
+configurations HEP-100, HEP-10 and HEP-1 are ``HepPartitioner(tau=...)``
+with 100, 10 and 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ne_plus_plus import NePlusPlusResult, run_ne_plus_plus
+from repro.errors import ConfigurationError
+from repro.graph.edgelist import Graph
+from repro.partition.base import PartitionAssignment, Partitioner, capacity_bound
+from repro.partition.hdrf import hdrf_stream
+from repro.partition.random_stream import random_stream
+from repro.partition.state import StreamingState
+
+__all__ = ["HepPartitioner", "HepPhaseBreakdown"]
+
+
+@dataclass(frozen=True)
+class HepPhaseBreakdown:
+    """Where the edges went: diagnostics for Figure 9's ratio panels."""
+
+    num_edges: int
+    num_h2h_edges: int
+    num_inmemory_edges: int
+    cleanup_removed_fraction: float
+    spilled_edges: int
+
+    @property
+    def h2h_fraction(self) -> float:
+        return self.num_h2h_edges / self.num_edges if self.num_edges else 0.0
+
+    @property
+    def rest_fraction(self) -> float:
+        return 1.0 - self.h2h_fraction
+
+
+class HepPartitioner(Partitioner):
+    """Hybrid Edge Partitioner.
+
+    Parameters
+    ----------
+    tau:
+        Degree threshold factor separating ``V_h`` from ``V_l``.  Smaller
+        means more streaming and less memory.  ``inf`` degenerates to
+        pure NE++.
+    alpha:
+        Balance slack for the *streaming* phase (the in-memory phase uses
+        the paper's adapted bound ``|E \\ E_h2h| / k``).
+    lam, eps:
+        HDRF scoring parameters for phase two.
+    streaming:
+        ``"hdrf"`` (the paper's choice), ``"greedy"`` (the alternative
+        Section 3.3 mentions: "the streaming phase of HEP could also
+        employ other stateful streaming edge partitioning algorithms,
+        such as Greedy"), or ``"random"`` — the latter turns HEP into
+        the NE++-side half of Section 5.4's ablation.
+    informed:
+        With ``False``, phase two starts from *empty* streaming state
+        instead of the NE++ hand-over — the ablation isolating the value
+        of Section 3.3's informed streaming (loads still carry over so
+        the balance constraint stays sound).
+    """
+
+    def __init__(
+        self,
+        tau: float = 10.0,
+        alpha: float = 1.0,
+        lam: float = 1.1,
+        eps: float = 1.0,
+        streaming: str = "hdrf",
+        informed: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if tau <= 0:
+            raise ConfigurationError(f"tau must be positive, got {tau}")
+        if streaming not in ("hdrf", "greedy", "random"):
+            raise ConfigurationError(f"unknown streaming strategy {streaming!r}")
+        self.tau = tau
+        self.alpha = alpha
+        self.lam = lam
+        self.eps = eps
+        self.streaming = streaming
+        self.informed = informed
+        self.seed = seed
+        self.last_breakdown: HepPhaseBreakdown | None = None
+        label = "inf" if np.isinf(tau) else f"{tau:g}"
+        self.name = f"HEP-{label}"
+
+    def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        self._require_k(graph, k)
+        phase_one = run_ne_plus_plus(graph, k, tau=self.tau)
+        parts = self._stream_h2h(graph, k, phase_one)
+        self.last_breakdown = HepPhaseBreakdown(
+            num_edges=graph.num_edges,
+            num_h2h_edges=phase_one.h2h.num_edges,
+            num_inmemory_edges=phase_one.num_inmemory_edges,
+            cleanup_removed_fraction=phase_one.stats.cleanup_removed_fraction,
+            spilled_edges=phase_one.stats.spilled_edges,
+        )
+        return PartitionAssignment(graph, k, parts)
+
+    def _stream_h2h(
+        self, graph: Graph, k: int, phase_one: NePlusPlusResult
+    ) -> np.ndarray:
+        """Phase two: stream the h2h edge file through informed scoring."""
+        parts = phase_one.parts
+        h2h = phase_one.h2h
+        if h2h.num_edges == 0:
+            return parts
+        capacity = capacity_bound(graph.num_edges, k, self.alpha)
+        # Loads carried over from phase one may already be at the overall
+        # bound on pathological inputs; grow the bound just enough to keep
+        # the stream feasible (reported alpha will expose it).
+        headroom = int(phase_one.loads.max())
+        capacity = max(capacity, headroom + 1)
+        if self.streaming == "hdrf":
+            if self.informed:
+                state = StreamingState.informed(
+                    graph,
+                    k,
+                    capacity,
+                    replicas=phase_one.secondary,
+                    loads=phase_one.loads,
+                )
+            else:
+                # Uninformed ablation: forget the replica state but keep
+                # the loads (the capacity constraint must see them).
+                state = StreamingState.informed(
+                    graph,
+                    k,
+                    capacity,
+                    replicas=np.zeros_like(phase_one.secondary),
+                    loads=phase_one.loads,
+                )
+            hdrf_stream(
+                state, h2h.pairs, h2h.eids, parts, lam=self.lam, eps=self.eps
+            )
+        elif self.streaming == "greedy":
+            state = StreamingState.informed(
+                graph, k, capacity,
+                replicas=phase_one.secondary,
+                loads=phase_one.loads,
+            )
+            self._greedy_stream(graph, state, h2h, parts)
+        else:
+            random_stream(
+                h2h.num_edges,
+                h2h.eids,
+                parts,
+                k,
+                capacity,
+                loads=phase_one.loads.copy(),
+                seed=self.seed,
+            )
+        return parts
+
+    @staticmethod
+    def _greedy_stream(graph, state: StreamingState, h2h, parts: np.ndarray) -> None:
+        """PowerGraph-greedy placement over the h2h stream (informed)."""
+        from repro.errors import CapacityError
+        from repro.partition.scoring import greedy_choose
+
+        remaining = graph.degrees.copy()
+        for i in range(h2h.num_edges):
+            u = int(h2h.pairs[i, 0])
+            v = int(h2h.pairs[i, 1])
+            p = greedy_choose(state, u, v, int(remaining[u]), int(remaining[v]))
+            if p < 0:
+                raise CapacityError("HEP/greedy: all partitions at capacity")
+            state.place(u, v, p)
+            remaining[u] -= 1
+            remaining[v] -= 1
+            parts[h2h.eids[i]] = p

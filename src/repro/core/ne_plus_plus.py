@@ -1,0 +1,420 @@
+"""NE++: memory-efficient neighborhood expansion (paper Section 3.2).
+
+NE++ is the in-memory phase of HEP.  It differs from baseline NE
+(:mod:`repro.partition.ne`) in exactly the ways the paper describes:
+
+**Pruned graph representation** (Section 3.2.1).  The CSR stores no
+adjacency lists for high-degree vertices (``d(v) > tau * mean``); edges
+between two high-degree vertices were diverted to an external buffer at
+build time.  High-degree vertices are never expanded into the core set —
+they are treated as *a priori* members of every secondary set: the
+moment a low-degree vertex ``x`` enters the expansion region, each of its
+pruned-CSR edges ``(x, u)`` to a high-degree ``u`` is assigned to the
+current partition and ``u`` is marked replicated there.
+
+**Lazy edge removal** (Section 3.2.2, Theorem 3.1).  No per-edge
+"assigned" bookkeeping exists.  Instead, a clean-up pass after each
+partition removes, from the adjacency lists of vertices that *remain in
+the secondary set*, the entries pointing into ``C ∪ S_i`` — precisely
+the edges that were assigned to ``p_i`` and could otherwise be seen again
+by a later partition.  Vertices moved to the core are never visited
+again (Theorem 3.1), so their lists are left untouched.
+
+**Sequential-scan initialization** (Section 3.2.3).  Seed search walks
+vertex ids once; every rejected vertex is rejected for a permanent
+reason (cored, high-degree, or empty adjacency), so the scan never
+revisits.
+
+**Adapted capacity bound**: partitions are filled to
+``|E \\ E_h2h| / k`` so in-memory edges spread evenly, leaving headroom
+for the streamed h2h edges.
+
+**Last partition by linear sweep** (Algorithm 3): remaining low/low
+edges are assigned from the left-hand (out-list) side; remaining
+low/high edges from the low vertex's in-list.  The split out/in index
+arrays exist for exactly this single-owner rule.
+
+The run returns everything HEP's streaming phase needs: the per-edge
+assignment (h2h edges still unassigned), the secondary-set matrix (the
+replica state), and partition loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro._ds import IndexedMinHeap
+from repro.errors import ConfigurationError
+from repro.graph.csr import CsrGraph, ExternalEdges
+from repro.graph.edgelist import Graph
+from repro.graph.pruned import high_degree_mask
+from repro.partition.base import (
+    PartitionAssignment,
+    Partitioner,
+    capacity_bound,
+)
+
+__all__ = ["NePlusPlusResult", "NePlusPlusStats", "run_ne_plus_plus", "NePlusPlusPartitioner"]
+
+#: tau value that disables pruning entirely (pure in-memory NE++)
+TAU_UNPRUNED = float("inf")
+
+
+@dataclass
+class NePlusPlusStats:
+    """Counters the paper's Figures 5 and 7 are built from."""
+
+    initial_column_entries: int = 0
+    cleanup_removed_entries: int = 0
+    num_seeds: int = 0
+    num_cored: int = 0
+    spilled_edges: int = 0
+    core_degrees: list[int] = field(default_factory=list)
+    secondary_end_degrees: list[int] = field(default_factory=list)
+
+    @property
+    def cleanup_removed_fraction(self) -> float:
+        """Fraction of column entries removed by clean-up (Figure 7)."""
+        if self.initial_column_entries == 0:
+            return 0.0
+        return self.cleanup_removed_entries / self.initial_column_entries
+
+
+@dataclass
+class NePlusPlusResult:
+    """Output of the in-memory phase, ready for the streaming hand-over."""
+
+    graph: Graph
+    k: int
+    tau: float
+    parts: np.ndarray              # (m,) int32; h2h edges remain -1
+    secondary: np.ndarray          # (k, n) bool: the S_i replica bitsets
+    loads: np.ndarray              # (k,) int64 edge loads after phase one
+    high_mask: np.ndarray          # (n,) bool
+    h2h: ExternalEdges
+    stats: NePlusPlusStats
+
+    @property
+    def num_inmemory_edges(self) -> int:
+        return self.graph.num_edges - self.h2h.num_edges
+
+    def to_assignment(self) -> PartitionAssignment:
+        """Assignment view (only complete when there are no h2h edges)."""
+        return PartitionAssignment(self.graph, self.k, self.parts)
+
+
+def run_ne_plus_plus(
+    graph: Graph,
+    k: int,
+    tau: float = TAU_UNPRUNED,
+    record_degrees: bool = False,
+    trace_walk: Callable[[int], None] | None = None,
+    seed_order: str = "sequential",
+    seed: int = 0,
+) -> NePlusPlusResult:
+    """Run the NE++ in-memory phase.
+
+    Parameters
+    ----------
+    graph, k:
+        Input graph and number of partitions.
+    tau:
+        Degree threshold factor.  ``inf`` disables pruning (no h2h edges).
+    record_degrees:
+        Collect the Figure 5 degree histories (small overhead).
+    trace_walk:
+        Optional callback invoked with a vertex id every time that
+        vertex's adjacency list is walked — the memory-access feed for the
+        paging simulator (Table 6).
+    seed_order:
+        ``"sequential"`` — the paper's Section 3.2.3 optimization (scan
+        ids once, never revisit); ``"random"`` — the reference NE's
+        randomized selection, kept as an ablation (still scanned without
+        replacement so it terminates).
+    """
+    if k < 2:
+        raise ConfigurationError(f"NE++ requires k >= 2, got {k}")
+    if seed_order not in ("sequential", "random"):
+        raise ConfigurationError(f"unknown seed_order {seed_order!r}")
+    if np.isinf(tau):
+        high = np.zeros(graph.num_vertices, dtype=bool)
+    else:
+        high = high_degree_mask(graph, tau)
+    csr = CsrGraph.build(graph, high_mask=high)
+    run = _NePlusPlusRun(
+        graph, csr, k, tau, record_degrees, trace_walk, seed_order, seed
+    )
+    return run.execute()
+
+
+class _NePlusPlusRun:
+    def __init__(
+        self,
+        graph: Graph,
+        csr: CsrGraph,
+        k: int,
+        tau: float,
+        record_degrees: bool,
+        trace_walk: Callable[[int], None] | None,
+        seed_order: str = "sequential",
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.csr = csr
+        self.k = k
+        self.tau = tau
+        self.n = graph.num_vertices
+        self.high = csr.high_mask
+        self.m_inmem = csr.num_csr_edges
+        # Adapted capacity bound: only in-memory edges count here.
+        self.capacity = capacity_bound(max(self.m_inmem, 1), k)
+        self.parts = np.full(graph.num_edges, -1, dtype=np.int32)
+        self.loads = np.zeros(k, dtype=np.int64)
+        self.in_core = np.zeros(self.n, dtype=bool)
+        self.secondary = np.zeros((k, self.n), dtype=bool)
+        self.heap = IndexedMinHeap()
+        self.current = 0
+        self.seed_cursor = 0  # position in the seed scan sequence
+        if seed_order == "sequential":
+            self.seed_sequence = np.arange(self.n, dtype=np.int64)
+        else:
+            self.seed_sequence = np.random.default_rng(seed).permutation(self.n)
+        self.assigned_inmem = 0
+        self.record_degrees = record_degrees
+        self.trace_walk = trace_walk
+        self.stats = NePlusPlusStats(initial_column_entries=int(csr.col.size))
+
+    # -- driver ------------------------------------------------------------
+
+    def execute(self) -> NePlusPlusResult:
+        last = self.k - 1
+        for i in range(last):
+            self.current = i
+            self.heap.clear()
+            exhausted = not self._expand_partition()
+            if self.record_degrees:
+                members = np.flatnonzero(
+                    self.secondary[i] & ~self.in_core & ~self.high
+                )
+                self.stats.secondary_end_degrees.extend(
+                    self.graph.degrees[members].tolist()
+                )
+            self._cleanup(i)
+            if exhausted or self.assigned_inmem >= self.m_inmem:
+                break
+        self._final_sweep()
+        return NePlusPlusResult(
+            graph=self.graph,
+            k=self.k,
+            tau=self.tau,
+            parts=self.parts,
+            secondary=self.secondary,
+            loads=self.loads,
+            high_mask=self.high,
+            h2h=self.csr.h2h_edges,
+            stats=self.stats,
+        )
+
+    def _expand_partition(self) -> bool:
+        """Grow partition ``current`` to capacity.
+
+        Returns ``False`` once the seed scan is exhausted (no further
+        partition can be grown by expansion).
+        """
+        i = self.current
+        while self.loads[i] < self.capacity and self.assigned_inmem < self.m_inmem:
+            if self.heap:
+                v, _ = self.heap.pop_min()
+                self._move_to_core(v)
+            elif not self._initialize():
+                return False
+        return True
+
+    def _initialize(self) -> bool:
+        """Sequential-scan seed search (Section 3.2.3).
+
+        Every rejection is permanent for this partition: cored and
+        high-degree are immutable, valid adjacency sizes only shrink, and
+        spill-marked vertices (already in ``S_i`` without having been
+        walked) are skipped — their remaining edges are picked up by a
+        later partition or the final sweep.
+        """
+        csr = self.csr
+        sec = self.secondary[self.current]
+        while self.seed_cursor < self.n:
+            v = int(self.seed_sequence[self.seed_cursor])
+            self.seed_cursor += 1
+            if self.in_core[v] or self.high[v] or sec[v]:
+                continue
+            if csr.out_size[v] + csr.in_size[v] == 0:
+                continue
+            self.stats.num_seeds += 1
+            self._move_to_core(v, fresh=True)
+            return True
+        return False
+
+    # -- expansion ---------------------------------------------------------------
+
+    def _move_to_core(self, v: int, fresh: bool = False) -> None:
+        """Core ``v``; with ``fresh=True`` (a seed) ``v`` enters the region
+        right now, so its edges *into* the region are assigned here.
+
+        A vertex cored from the heap had those edges assigned when the
+        later endpoint entered ``C ∪ S_i`` (Algorithm 1's invariant); a
+        seed was outside the region until this moment, so edges to
+        secondary members — including the a-priori high-degree members —
+        would otherwise be missed and later destroyed by clean-up.
+        """
+        i = self.current
+        sec = self.secondary[i]
+        self.in_core[v] = True
+        if fresh:
+            sec[v] = True
+        self.stats.num_cored += 1
+        if self.record_degrees:
+            self.stats.core_degrees.append(int(self.graph.degrees[v]))
+        if self.trace_walk is not None:
+            self.trace_walk(v)
+        nbrs, eids = self.csr.adjacency(v)
+        high = self.high
+        in_core = self.in_core
+        heap = self.heap
+        for w, eid in zip(nbrs.tolist(), eids.tolist()):
+            if high[w]:
+                if fresh:
+                    # A-priori secondary membership of high-degree vertices.
+                    self._assign(eid, v, w)
+                    sec[w] = True
+                # else: assigned at v's own secondary walk already.
+            elif in_core[w] or sec[w]:
+                if fresh:
+                    self._assign(eid, v, w)
+                    if w in heap:
+                        heap.decrement(w)
+                # else: assigned when the later endpoint entered the region.
+            else:
+                self._move_to_secondary(w)
+
+    def _move_to_secondary(self, v: int) -> None:
+        i = self.current
+        sec = self.secondary[i]
+        sec[v] = True
+        if self.trace_walk is not None:
+            self.trace_walk(v)
+        dext = 0
+        nbrs, eids = self.csr.adjacency(v)
+        high = self.high
+        in_core = self.in_core
+        heap = self.heap
+        for w, eid in zip(nbrs.tolist(), eids.tolist()):
+            if high[w]:
+                self._assign(eid, v, w)
+                sec[w] = True
+            elif in_core[w] or sec[w]:
+                self._assign(eid, v, w)
+                if w in heap:
+                    heap.decrement(w)
+            else:
+                dext += 1
+        heap.push(v, dext)
+
+    def _assign(self, eid: int, u: int, w: int) -> None:
+        i = self.current
+        if self.loads[i] >= self.capacity and i + 1 < self.k:
+            # Spill-over: endpoints become replicas of the receiving
+            # partition.  A single expansion step can overshoot by more
+            # than one partition's headroom, so cascade forward.
+            while self.loads[i] >= self.capacity and i + 1 < self.k:
+                i += 1
+            self.secondary[i, u] = True
+            self.secondary[i, w] = True
+            self.stats.spilled_edges += 1
+        self.parts[eid] = i
+        self.loads[i] += 1
+        self.assigned_inmem += 1
+
+    # -- lazy edge removal ---------------------------------------------------------
+
+    def _cleanup(self, i: int) -> None:
+        """Algorithm 2: remove assigned entries from lists that may be
+        visited again (only vertices still in the secondary set)."""
+        region = self.in_core | self.secondary[i]
+        members = np.flatnonzero(self.secondary[i] & ~self.in_core & ~self.high)
+        removed = 0
+        csr = self.csr
+        for v in members.tolist():
+            if self.trace_walk is not None:
+                self.trace_walk(v)
+            removed += csr.remove_marked(v, region)
+        self.stats.cleanup_removed_entries += removed
+
+    # -- last partition (Algorithm 3) ---------------------------------------------
+
+    def _final_sweep(self) -> None:
+        """Assign every remaining in-memory edge, filling partitions from
+        the first unfilled one onward under the capacity bound."""
+        # The expansion loop filled partitions 0 .. current; the sweep
+        # builds the next one (normally the last).  If expansion ended
+        # early because the seed scan was exhausted, nothing remains and
+        # the sweep is a no-op.
+        i = min(self.current + 1, self.k - 1)
+        csr = self.csr
+        high = self.high
+        parts = self.parts
+        loads = self.loads
+        for v in range(self.n):
+            if self.in_core[v] or high[v]:
+                continue
+            out_n, out_e = csr.out_view(v)
+            in_n, in_e = csr.in_view(v)
+            if out_e.size == 0 and in_e.size == 0:
+                continue
+            if self.trace_walk is not None:
+                self.trace_walk(v)
+            touched = False
+            sec = self.secondary[i]
+            # Low/low and low/high out-edges: assigned from the left side.
+            for w, eid in zip(out_n.tolist(), out_e.tolist()):
+                parts[eid] = i
+                loads[i] += 1
+                self.assigned_inmem += 1
+                sec[w] = True
+                touched = True
+            # In-edges are assigned here only when the source is pruned.
+            for w, eid in zip(in_n.tolist(), in_e.tolist()):
+                if high[w]:
+                    parts[eid] = i
+                    loads[i] += 1
+                    self.assigned_inmem += 1
+                    sec[w] = True
+                    touched = True
+            if touched:
+                sec[v] = True
+            if loads[i] >= self.capacity and i + 1 < self.k:
+                i = i + 1
+
+
+class NePlusPlusPartitioner(Partitioner):
+    """Standalone NE++ (unpruned): the paper's drop-in replacement for NE.
+
+    With the default ``tau = inf`` there are no h2h edges, so the
+    in-memory phase assigns every edge and this is a complete
+    partitioner.  A finite ``tau`` makes sense only inside HEP (use
+    :class:`repro.core.hep.HepPartitioner`).
+    """
+
+    def __init__(self, record_degrees: bool = False) -> None:
+        self.record_degrees = record_degrees
+        self.last_stats: NePlusPlusStats | None = None
+        self.name = "NE++"
+
+    def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        self._require_k(graph, k)
+        result = run_ne_plus_plus(
+            graph, k, tau=TAU_UNPRUNED, record_degrees=self.record_degrees
+        )
+        self.last_stats = result.stats
+        return result.to_assignment()

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the HEP reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter is out of range or inconsistent (e.g. ``k < 2``)."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """An input edge list or graph file is malformed."""
+
+
+class PartitioningError(ReproError, RuntimeError):
+    """A partitioner could not produce a valid assignment."""
+
+
+class CapacityError(PartitioningError):
+    """No partition has room for an edge under the balance constraint."""
+
+
+class ValidationError(ReproError, AssertionError):
+    """A partitioning result violates a structural invariant."""

@@ -1,0 +1,44 @@
+"""Experiment harness: one module per paper table/figure.
+
+``REGISTRY`` maps experiment ids to their ``run`` callables; the CLI and
+the benchmark suite both dispatch through it.
+"""
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    figure1,
+    figure2,
+    figure5,
+    figure7,
+    figure8,
+    figure9,
+    stream_order,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.common import ExperimentResult
+
+REGISTRY = {
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure5": figure5.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "ablations": ablations.run,
+    "extensions": extensions.run,
+    "stream_order": stream_order.run,
+}
+
+__all__ = ["REGISTRY", "ExperimentResult"]

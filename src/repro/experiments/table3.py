@@ -1,0 +1,42 @@
+"""Table 3: the dataset corpus — paper originals vs synthetic stand-ins."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.graph import describe
+from repro.graph.datasets import DATASETS
+
+__all__ = ["run"]
+
+
+def run(scale: float | None = None) -> ExperimentResult:
+    rows: list[dict[str, object]] = []
+    for name, spec in DATASETS.items():
+        graph = spec.build(scale) if scale else spec.build()
+        stats = describe(graph)
+        rows.append(
+            {
+                "graph": name,
+                "type": spec.kind,
+                "paper_|V|": spec.paper_vertices,
+                "paper_|E|": spec.paper_edges,
+                "standin_|V|": stats.num_vertices,
+                "standin_|E|": stats.num_edges,
+                "mean_deg": round(stats.mean_degree, 1),
+                "max_deg": stats.max_degree,
+                "skew(p99/med)": round(stats.skew, 1),
+                "size_MiB": round(stats.binary_size_bytes / 2**20, 2),
+            }
+        )
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Dataset corpus: Table 3 originals and their stand-ins",
+        rows=rows,
+        paper_shape="social graphs heavy-tailed; web graphs skewed with"
+        " community locality; BR dense",
+    )
+    result.notes.append(
+        "stand-ins are seeded synthetic graphs at laptop scale; see"
+        " DESIGN.md section 4 for the substitution rationale"
+    )
+    return result

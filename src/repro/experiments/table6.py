@@ -1,0 +1,83 @@
+"""Table 6: paging vs. the tau knob (OK graph, k=32).
+
+Unpruned NE++ runs under shrinking memory limits on the paging
+simulator; faults and modeled run-time explode once the limit is below
+the working set.  HEP at ``tau = 1`` fits in comparable memory with no
+hard faults at all — the paper's argument for hybrid partitioning over
+OS paging (at the cost of a worse replication factor, also shown).
+"""
+
+from __future__ import annotations
+
+from repro.core import HepPartitioner, hep_memory_bytes
+from repro.experiments.common import ExperimentResult, load_dataset
+from repro.experiments.paper_reference import SHAPES, TABLE6_PAGING
+from repro.memsim import PAGE_BYTES, run_paged_ne_plus_plus
+from repro.metrics import replication_factor
+
+__all__ = ["run"]
+
+#: fractions of the measured working set, mirroring 1000..400 MB of ~1 GiB
+_LIMIT_FRACTIONS = (1.1, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4)
+
+
+def run(graph_name: str = "OK", k: int = 32) -> ExperimentResult:
+    graph = load_dataset(graph_name)
+    # Establish the working set with a generous limit.
+    generous = run_paged_ne_plus_plus(graph, k, 1 << 30)
+    working_bytes = generous.working_set_pages * PAGE_BYTES
+
+    rows: list[dict[str, object]] = []
+    for fraction in _LIMIT_FRACTIONS:
+        limit = max(int(working_bytes * fraction), PAGE_BYTES)
+        result = run_paged_ne_plus_plus(graph, k, limit)
+        rows.append(
+            {
+                "mem_limit_%ws": int(fraction * 100),
+                "limit_KiB": limit // 1024,
+                "hard_faults": result.page_faults,
+                "runtime_s": round(result.modeled_runtime_seconds, 3),
+            }
+        )
+
+    # The alternative: HEP at tau=1 in comparable memory, zero faults.
+    hep = HepPartitioner(tau=1.0)
+    assignment = hep.partition(graph, k)
+    hep_bytes = hep_memory_bytes(graph, 1.0, k)
+    rows.append(
+        {
+            "mem_limit_%ws": f"HEP-1 ({hep_bytes * 100 // max(working_bytes,1)}% ws)",
+            "limit_KiB": hep_bytes // 1024,
+            "hard_faults": 0,
+            "runtime_s": "-",
+        }
+    )
+
+    result = ExperimentResult(
+        experiment_id="table6",
+        title=f"Paged NE++ vs HEP-1 on {graph_name} (k={k})",
+        rows=rows,
+        paper_shape=SHAPES["table6"],
+    )
+    faults = [int(r["hard_faults"]) for r in rows[:-1]]
+    result.notes.append(
+        f"faults increase monotonically as the limit shrinks: "
+        f"{faults == sorted(faults)}"
+    )
+    result.notes.append(
+        "paper Table 6 (1000..400 MB): "
+        + ", ".join(f"{mb}MB->{rt}s/{f//1000}K faults"
+                    for mb, (rt, f) in TABLE6_PAGING.items())
+    )
+    result.notes.append(
+        f"paging keeps the better RF (paper: 2.51 vs 4.52): paged NE++ RF="
+        f"{replication_factor(run_unpruned_assignment(graph, k)):.2f} vs "
+        f"HEP-1 RF={replication_factor(assignment):.2f}"
+    )
+    return result
+
+
+def run_unpruned_assignment(graph, k):
+    from repro.core import NePlusPlusPartitioner
+
+    return NePlusPlusPartitioner().partition(graph, k)

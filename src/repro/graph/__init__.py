@@ -1,0 +1,47 @@
+"""Graph substrate: containers, CSR, pruning, generators and statistics."""
+
+from repro.graph.csr import CsrGraph, ExternalEdges
+from repro.graph.edgelist import (
+    Graph,
+    canonical_edges,
+    read_binary_edgelist,
+    read_text_edgelist,
+    write_binary_edgelist,
+    write_text_edgelist,
+)
+from repro.graph.pruned import (
+    EdgeSplit,
+    build_pruned_csr,
+    high_degree_mask,
+    split_edges,
+)
+from repro.graph.ordering import ORDERINGS, edge_order, reorder_edges
+from repro.graph.partition_io import (
+    read_assignment,
+    write_assignment,
+    write_partition_edgelists,
+)
+from repro.graph.stats import GraphStats, describe
+
+__all__ = [
+    "Graph",
+    "CsrGraph",
+    "ExternalEdges",
+    "EdgeSplit",
+    "GraphStats",
+    "canonical_edges",
+    "read_binary_edgelist",
+    "write_binary_edgelist",
+    "read_text_edgelist",
+    "write_text_edgelist",
+    "high_degree_mask",
+    "split_edges",
+    "build_pruned_csr",
+    "describe",
+    "edge_order",
+    "reorder_edges",
+    "ORDERINGS",
+    "write_assignment",
+    "read_assignment",
+    "write_partition_edgelists",
+]

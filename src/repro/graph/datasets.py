@@ -1,0 +1,205 @@
+"""Synthetic stand-ins for the paper's Table 3 datasets.
+
+The paper evaluates on ten real-world graphs from 35 M to 64 B edges
+(LiveJournal, Orkut, brain, wiki-links, it-2004, twitter-2010,
+Friendster, uk-2007-05, gsh-2015, wdc-2014).  Those datasets are not
+available offline and are far beyond pure-Python scale, so each name maps
+to a *seeded generator recipe* that reproduces the class-defining
+properties the evaluation depends on: power-law skew for the social
+graphs, extreme skew for TW, locality/community structure for the web
+graphs, and density for BR.
+
+``load(name, scale)`` returns the stand-in; ``scale`` multiplies the
+vertex count (benchmarks read the ``REPRO_SCALE`` environment variable so
+the whole evaluation can be grown on bigger machines).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.graph import generators
+from repro.graph.edgelist import Graph
+
+__all__ = ["DatasetSpec", "DATASETS", "load", "available", "env_scale"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe and provenance for one Table 3 stand-in."""
+
+    name: str
+    kind: str                      # Social | Web | Biological
+    paper_vertices: str            # as printed in Table 3
+    paper_edges: str
+    builder: Callable[[float], Graph]
+    description: str
+
+    def build(self, scale: float = 1.0) -> Graph:
+        graph = self.builder(scale)
+        graph.name = self.name
+        return graph
+
+
+def _lj(scale: float) -> Graph:
+    return generators.chung_lu(
+        n=int(6000 * scale), mean_degree=14, exponent=2.35, seed=101, name="LJ"
+    )
+
+
+def _ok(scale: float) -> Graph:
+    return generators.chung_lu(
+        n=int(4000 * scale), mean_degree=38, exponent=2.2, seed=102, name="OK"
+    )
+
+
+def _br(scale: float) -> Graph:
+    # Dense biological graph: small vertex set, very high mean degree.
+    return generators.chung_lu(
+        n=int(1500 * scale), mean_degree=70, exponent=2.6, seed=103, name="BR"
+    )
+
+
+def _wi(scale: float) -> Graph:
+    scale_bits = 13 + max(0, int(round(scale)) - 1).bit_length()
+    return generators.rmat(
+        scale=scale_bits, edge_factor=10, a=0.57, b=0.19, c=0.19, seed=104, name="WI"
+    )
+
+
+def _it(scale: float) -> Graph:
+    return generators.community_web(
+        num_communities=int(24 * scale),
+        community_size=500,
+        intra_mean_degree=14,
+        inter_fraction=0.015,
+        seed=105,
+        name="IT",
+    )
+
+
+def _tw(scale: float) -> Graph:
+    # Twitter: social graph with the heaviest hub skew of the corpus.
+    return generators.chung_lu(
+        n=int(9000 * scale), mean_degree=24, exponent=1.95, seed=106, name="TW"
+    )
+
+
+def _fr(scale: float) -> Graph:
+    return generators.chung_lu(
+        n=int(14000 * scale), mean_degree=12, exponent=2.45, seed=107, name="FR"
+    )
+
+
+def _uk(scale: float) -> Graph:
+    return generators.community_web(
+        num_communities=int(40 * scale),
+        community_size=500,
+        intra_mean_degree=16,
+        inter_fraction=0.01,
+        seed=108,
+        name="UK",
+    )
+
+
+def _gsh(scale: float) -> Graph:
+    return generators.community_web(
+        num_communities=int(60 * scale),
+        community_size=550,
+        intra_mean_degree=18,
+        inter_fraction=0.008,
+        seed=109,
+        name="GSH",
+    )
+
+
+def _wdc(scale: float) -> Graph:
+    return generators.community_web(
+        num_communities=int(80 * scale),
+        community_size=550,
+        intra_mean_degree=18,
+        inter_fraction=0.006,
+        seed=110,
+        name="WDC",
+    )
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "LJ": DatasetSpec(
+        "LJ", "Social", "4.0 M", "35 M", _lj,
+        "com-livejournal stand-in: moderate power-law social graph",
+    ),
+    "OK": DatasetSpec(
+        "OK", "Social", "3.1 M", "117 M", _ok,
+        "com-orkut stand-in: dense power-law social graph",
+    ),
+    "BR": DatasetSpec(
+        "BR", "Biological", "784 k", "268 M", _br,
+        "brain stand-in: small, very dense graph",
+    ),
+    "WI": DatasetSpec(
+        "WI", "Web", "12 M", "378 M", _wi,
+        "wiki-links stand-in: R-MAT web graph with extreme skew",
+    ),
+    "IT": DatasetSpec(
+        "IT", "Web", "41 M", "1.2 B", _it,
+        "it-2004 stand-in: community web graph, partitions very well",
+    ),
+    "TW": DatasetSpec(
+        "TW", "Social", "42 M", "1.5 B", _tw,
+        "twitter-2010 stand-in: heaviest hub skew",
+    ),
+    "FR": DatasetSpec(
+        "FR", "Social", "66 M", "1.8 B", _fr,
+        "com-friendster stand-in: large sparse social graph",
+    ),
+    "UK": DatasetSpec(
+        "UK", "Web", "106 M", "3.7 B", _uk,
+        "uk-2007-05 stand-in: community web graph",
+    ),
+    "GSH": DatasetSpec(
+        "GSH", "Web", "988 M", "33 B", _gsh,
+        "gsh-2015 stand-in: largest community web graph (streaming-only in paper)",
+    ),
+    "WDC": DatasetSpec(
+        "WDC", "Web", "1.7 B", "64 B", _wdc,
+        "wdc-2014 stand-in: largest graph of the corpus",
+    ),
+}
+
+
+def available() -> list[str]:
+    """Names of all Table 3 stand-ins."""
+    return list(DATASETS)
+
+
+def load(name: str, scale: float | None = None) -> Graph:
+    """Build the stand-in for Table 3 dataset ``name`` (case-insensitive).
+
+    ``scale`` defaults to :func:`env_scale` (the ``REPRO_SCALE``
+    environment variable, default 1.0).
+    """
+    key = name.upper()
+    if key not in DATASETS:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        )
+    if scale is None:
+        scale = env_scale()
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    return DATASETS[key].build(scale)
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Read the global experiment scale factor from ``REPRO_SCALE``."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ConfigurationError(f"REPRO_SCALE={raw!r} is not a number") from exc

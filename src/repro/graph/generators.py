@@ -1,0 +1,230 @@
+"""Seeded synthetic graph generators.
+
+The paper evaluates on crawled social networks, web graphs and one
+biological graph (Table 3).  Those inputs are multi-gigabyte downloads we
+do not have offline, so the experiments run on *seeded synthetic
+stand-ins* whose degree structure matches each class:
+
+* social networks -> Chung-Lu / Barabási–Albert power-law graphs
+  (heavy-tailed, low locality),
+* web graphs -> R-MAT and community-structured graphs (extremely skewed
+  in-degree, strong link locality, partition very well),
+* the brain graph -> a dense clustered proxy.
+
+Every generator is deterministic given ``seed`` and returns a canonical
+:class:`~repro.graph.edgelist.Graph` (self-loops and duplicate edges
+removed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.edgelist import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "chung_lu",
+    "barabasi_albert",
+    "rmat",
+    "star",
+    "grid2d",
+    "ring",
+    "community_web",
+]
+
+
+def _rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi(n: int, m: int, seed: int = 0, name: str = "er") -> Graph:
+    """Uniform random graph with ~``m`` distinct edges over ``n`` vertices."""
+    if n < 2:
+        raise ConfigurationError("erdos_renyi needs n >= 2")
+    rng = _rng(seed)
+    # Oversample to compensate for self-loop/duplicate removal.
+    draw = int(m * 1.25) + 16
+    edges = rng.integers(0, n, size=(draw, 2), dtype=np.int64)
+    g = Graph.from_edges(edges, num_vertices=n, name=name)
+    if g.num_edges > m:
+        g = Graph(g.edges[:m], n, name=name)
+    return g
+
+
+def chung_lu(
+    n: int,
+    mean_degree: float,
+    exponent: float = 2.3,
+    seed: int = 0,
+    name: str = "chung-lu",
+) -> Graph:
+    """Power-law random graph via the Chung-Lu weighted sampling model.
+
+    Vertex ``i`` receives weight ``w_i ∝ (i + i0)^(-1/(exponent-1))``;
+    endpoints of each edge are drawn independently proportional to the
+    weights, which yields expected degrees following a power law with the
+    given tail ``exponent`` (2.1–2.5 covers most social networks).
+    """
+    if n < 2 or mean_degree <= 0:
+        raise ConfigurationError("chung_lu needs n >= 2 and mean_degree > 0")
+    if exponent <= 1.0:
+        raise ConfigurationError("power-law exponent must exceed 1")
+    rng = _rng(seed)
+    target_m = int(n * mean_degree / 2)
+    i0 = max(1.0, n ** (1.0 / (exponent - 1.0)) * 0.01)
+    weights = (np.arange(n, dtype=np.float64) + i0) ** (-1.0 / (exponent - 1.0))
+    prob = weights / weights.sum()
+    draw = int(target_m * 1.6) + 16
+    endpoints = rng.choice(n, size=2 * draw, p=prob).reshape(-1, 2)
+    # Shuffle ids so degree is uncorrelated with vertex id (real edge
+    # lists are not degree-sorted; sequential seed scans must not get
+    # hubs-first or hubs-last behavior for free).
+    perm = rng.permutation(n)
+    g = Graph.from_edges(perm[endpoints], num_vertices=n, name=name)
+    if g.num_edges > target_m:
+        g = Graph(g.edges[:target_m], n, name=name)
+    return g
+
+
+def barabasi_albert(
+    n: int, attach: int = 4, seed: int = 0, name: str = "ba"
+) -> Graph:
+    """Preferential-attachment graph: each new vertex links to ``attach``
+    existing vertices chosen proportional to degree (repeated-node trick)."""
+    if n <= attach:
+        raise ConfigurationError("barabasi_albert needs n > attach")
+    rng = _rng(seed)
+    # Seed clique of `attach + 1` vertices keeps early sampling non-degenerate.
+    sources: list[int] = []
+    targets: list[int] = []
+    repeated: list[int] = []
+    for v in range(attach + 1):
+        for u in range(v):
+            sources.append(v)
+            targets.append(u)
+            repeated.extend((u, v))
+    for v in range(attach + 1, n):
+        picks = rng.integers(0, len(repeated), size=attach)
+        chosen = {repeated[int(p)] for p in picks}
+        while len(chosen) < attach:
+            chosen.add(repeated[int(rng.integers(0, len(repeated)))])
+        for u in chosen:
+            sources.append(v)
+            targets.append(u)
+            repeated.extend((u, v))
+    edges = np.column_stack([
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+    ])
+    return Graph.from_edges(edges, num_vertices=n, name=name)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 12,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    name: str = "rmat",
+) -> Graph:
+    """Recursive-matrix (R-MAT) generator, vectorized bit by bit.
+
+    ``n = 2**scale`` vertices, ``~ n * edge_factor`` sampled edges.  The
+    default quadrant probabilities (0.57, 0.19, 0.19, 0.05) are the
+    Graph500 values and produce web-graph-like skew.
+    """
+    if scale < 2:
+        raise ConfigurationError("rmat needs scale >= 2")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ConfigurationError("rmat probabilities exceed 1")
+    rng = _rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    u = np.zeros(m, dtype=np.int64)
+    v = np.zeros(m, dtype=np.int64)
+    for _bit in range(scale):
+        r = rng.random(m)
+        right = r >= a + b          # quadrants c or d -> low bit of u is 1
+        bottom = ((r >= a) & (r < a + b)) | (r >= a + b + c)  # b or d -> v bit 1
+        u = (u << 1) | right.astype(np.int64)
+        v = (v << 1) | bottom.astype(np.int64)
+    # Permute ids so high-degree vertices are not clustered at id 0.
+    perm = rng.permutation(n)
+    edges = np.column_stack([perm[u], perm[v]])
+    return Graph.from_edges(edges, num_vertices=n, name=name)
+
+
+def star(n: int, name: str = "star") -> Graph:
+    """Hub vertex 0 connected to all others (Figure 1's example shape)."""
+    if n < 2:
+        raise ConfigurationError("star needs n >= 2")
+    spokes = np.arange(1, n, dtype=np.int64)
+    edges = np.column_stack([np.zeros(n - 1, dtype=np.int64), spokes])
+    return Graph.from_edges(edges, num_vertices=n, name=name)
+
+
+def grid2d(rows: int, cols: int, name: str = "grid") -> Graph:
+    """4-neighbor mesh — a low-skew control workload."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("grid2d needs positive dimensions")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz = np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    vert = np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    return Graph.from_edges(
+        np.vstack([horiz, vert]), num_vertices=rows * cols, name=name
+    )
+
+
+def ring(n: int, name: str = "ring") -> Graph:
+    """Cycle graph — every vertex has degree exactly 2."""
+    if n < 3:
+        raise ConfigurationError("ring needs n >= 3")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return Graph.from_edges(np.column_stack([u, v]), num_vertices=n, name=name)
+
+
+def community_web(
+    num_communities: int,
+    community_size: int,
+    intra_mean_degree: float = 10.0,
+    inter_fraction: float = 0.03,
+    exponent: float = 2.1,
+    seed: int = 0,
+    name: str = "web",
+) -> Graph:
+    """Web-graph stand-in: power-law communities plus sparse cross links.
+
+    Real web graphs (IT, UK, GSH, WDC in the paper) have strong host-level
+    locality, which is why in-memory partitioners reach very low
+    replication factors on them.  This generator reproduces that property:
+    each community is an independent Chung-Lu power-law graph and only an
+    ``inter_fraction`` of additional edges cross community boundaries.
+    """
+    if num_communities < 1 or community_size < 2:
+        raise ConfigurationError("need >= 1 community of size >= 2")
+    rng = _rng(seed)
+    n = num_communities * community_size
+    blocks: list[np.ndarray] = []
+    for community in range(num_communities):
+        sub = chung_lu(
+            community_size,
+            intra_mean_degree,
+            exponent=exponent,
+            seed=rng.integers(0, 2**31),
+        )
+        blocks.append(sub.edges + community * community_size)
+    intra = np.vstack(blocks) if blocks else np.empty((0, 2), dtype=np.int64)
+    num_inter = int(intra.shape[0] * inter_fraction)
+    inter = rng.integers(0, n, size=(num_inter, 2), dtype=np.int64)
+    # Shuffle vertex ids so communities are not contiguous id ranges
+    # (sequential-seed initialization must not get them for free).
+    perm = rng.permutation(n)
+    edges = perm[np.vstack([intra, inter])]
+    return Graph.from_edges(edges, num_vertices=n, name=name)

@@ -1,0 +1,82 @@
+"""Degree thresholding and the pruned graph representation (Section 3.2.1).
+
+HEP separates vertices into high-degree ``V_h`` and low-degree ``V_l`` by
+the *threshold factor* ``tau``::
+
+    v in V_h  iff  d(v) > tau * mean_degree
+
+Edges between two high-degree vertices (``E_h2h``) are written out at CSR
+build time and later partitioned by streaming; everything else stays in
+the pruned in-memory representation.  Lowering ``tau`` moves more edge
+mass to the streaming phase and shrinks the column array — this is the
+memory knob of the whole system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.csr import CsrGraph
+from repro.graph.edgelist import Graph
+
+__all__ = [
+    "high_degree_mask",
+    "split_edges",
+    "build_pruned_csr",
+    "EdgeSplit",
+]
+
+
+def high_degree_mask(graph: Graph, tau: float) -> np.ndarray:
+    """Boolean mask of high-degree vertices: ``d(v) > tau * mean_degree``.
+
+    ``tau = inf`` (or any value making the threshold exceed the maximum
+    degree) yields an all-``False`` mask — HEP degenerates to pure NE++
+    in-memory partitioning with an unpruned CSR.
+    """
+    if tau <= 0:
+        raise ConfigurationError(f"tau must be positive, got {tau}")
+    threshold = tau * graph.mean_degree
+    return graph.degrees > threshold
+
+
+@dataclass(frozen=True)
+class EdgeSplit:
+    """The two-way split of the edge set induced by ``tau``."""
+
+    high_mask: np.ndarray   # per-vertex: True if high-degree
+    h2h_mask: np.ndarray    # per-edge: True if both endpoints high-degree
+
+    @property
+    def num_high_vertices(self) -> int:
+        return int(self.high_mask.sum())
+
+    @property
+    def num_h2h_edges(self) -> int:
+        return int(self.h2h_mask.sum())
+
+    def h2h_fraction(self) -> float:
+        """Fraction of all edges that go to the streaming phase
+        (Figure 9's 'H2H' ratio)."""
+        if self.h2h_mask.size == 0:
+            return 0.0
+        return self.num_h2h_edges / self.h2h_mask.size
+
+
+def split_edges(graph: Graph, tau: float) -> EdgeSplit:
+    """Classify every edge as h2h (streaming) or rest (in-memory)."""
+    high = high_degree_mask(graph, tau)
+    u, v = graph.edges[:, 0], graph.edges[:, 1]
+    return EdgeSplit(high_mask=high, h2h_mask=high[u] & high[v])
+
+
+def build_pruned_csr(graph: Graph, tau: float) -> CsrGraph:
+    """Build the pruned CSR for threshold ``tau``.
+
+    The returned CSR stores no adjacency lists for high-degree vertices;
+    the diverted h2h edges are available as ``csr.h2h_edges``.
+    """
+    return CsrGraph.build(graph, high_mask=high_degree_mask(graph, tau))

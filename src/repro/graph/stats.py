@@ -1,0 +1,93 @@
+"""Degree statistics and the degree-bucket machinery behind Figure 2.
+
+Figure 2 of the paper plots, per decade-sized degree range (``[1, 10]``,
+``[11, 100]``, ...), both the fraction of vertices in that range and the
+average replication factor of those vertices.  The bucketing lives here;
+the replication side lives in :mod:`repro.metrics.replication`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.edgelist import Graph
+
+__all__ = ["GraphStats", "describe", "degree_buckets", "bucket_labels"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph (Table 3 style row)."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    mean_degree: float
+    max_degree: int
+    median_degree: float
+    degree_p99: float
+    binary_size_bytes: int
+    skew: float = field(default=0.0)
+
+    def row(self) -> dict[str, object]:
+        """Dict form used by table printers."""
+        return {
+            "name": self.name,
+            "|V|": self.num_vertices,
+            "|E|": self.num_edges,
+            "mean_deg": round(self.mean_degree, 2),
+            "max_deg": self.max_degree,
+            "size_MiB": round(self.binary_size_bytes / 2**20, 3),
+        }
+
+
+def describe(graph: Graph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    deg = graph.degrees
+    nonzero = deg[deg > 0]
+    if nonzero.size == 0:
+        return GraphStats(graph.name, graph.num_vertices, 0, 0.0, 0, 0.0, 0.0, 0)
+    mean = float(nonzero.mean())
+    # Degree skew: ratio of p99 degree to median — a scale-free signature.
+    median = float(np.median(nonzero))
+    p99 = float(np.percentile(nonzero, 99))
+    skew = p99 / median if median else 0.0
+    return GraphStats(
+        name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        mean_degree=graph.mean_degree,
+        max_degree=int(nonzero.max()),
+        median_degree=median,
+        degree_p99=p99,
+        binary_size_bytes=graph.binary_size_bytes(),
+        skew=skew,
+    )
+
+
+def degree_buckets(degrees: np.ndarray) -> np.ndarray:
+    """Decade bucket index per vertex: 0 for degree 1-10, 1 for 11-100, ...
+
+    Degree-0 vertices get bucket ``-1`` (excluded from Figure 2).
+    """
+    degrees = np.asarray(degrees)
+    bucket = np.full(degrees.shape, -1, dtype=np.int64)
+    pos = degrees > 0
+    bucket[pos] = np.ceil(np.log10(np.maximum(degrees[pos], 1))).astype(np.int64)
+    # Degree 1..10 -> ceil(log10 d) in {0, 1}; force degree 1..10 into bucket 0.
+    bucket[pos] = np.maximum(bucket[pos] - 1, 0)
+    bucket[pos & (degrees <= 10)] = 0
+    return bucket
+
+
+def bucket_labels(num_buckets: int) -> list[str]:
+    """Human labels for the decade buckets: '1-10', '11-100', ..."""
+    labels = []
+    lo = 1
+    for index in range(num_buckets):
+        hi = 10 ** (index + 1)
+        labels.append(f"{lo}-{hi}")
+        lo = hi + 1
+    return labels

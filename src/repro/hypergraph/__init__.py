@@ -1,0 +1,28 @@
+"""Hybrid hypergraph partitioning — the paper's future-work extension."""
+
+from repro.hypergraph.container import Hypergraph
+from repro.hypergraph.generators import clustered_hypergraph, powerlaw_hypergraph
+from repro.hypergraph.hybrid import (
+    HybridHypergraphPartitioner,
+    MinMaxStreamingHypergraphPartitioner,
+    split_hyperedges,
+)
+from repro.hypergraph.metrics import (
+    assert_valid_hyper,
+    hyper_balance,
+    hyper_cover_matrix,
+    hyper_replication_factor,
+)
+
+__all__ = [
+    "Hypergraph",
+    "powerlaw_hypergraph",
+    "clustered_hypergraph",
+    "HybridHypergraphPartitioner",
+    "MinMaxStreamingHypergraphPartitioner",
+    "split_hyperedges",
+    "hyper_replication_factor",
+    "hyper_balance",
+    "hyper_cover_matrix",
+    "assert_valid_hyper",
+]

@@ -1,0 +1,129 @@
+"""Hypergraph container for the hybrid-partitioning extension.
+
+The paper's future work proposes extending the hybrid in-memory +
+streaming paradigm to hypergraphs (citing HYPE and streaming min-max
+hypergraph partitioning).  This subpackage builds that extension on the
+same architecture as the graph case: a CSR-style container here, a
+degree-threshold split, a neighborhood-expansion in-memory phase and an
+informed streaming phase in :mod:`repro.hypergraph.hybrid`.
+
+A hypergraph is a set of *hyperedges*, each a set of *pins* (vertices).
+Partitioning assigns hyperedges to ``k`` parts; a vertex is replicated
+on every part that holds one of its hyperedges — the exact analogue of
+vertex-cut edge partitioning (a graph is the special case of two pins
+per hyperedge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """Immutable hypergraph in CSR form.
+
+    ``pins[eptr[e]:eptr[e+1]]`` are the vertices of hyperedge ``e``.
+    A transposed incidence (vertex -> hyperedges) is built lazily for
+    the expansion phase.
+    """
+
+    def __init__(self, eptr: np.ndarray, pins: np.ndarray, num_vertices: int) -> None:
+        self.eptr = np.ascontiguousarray(eptr, dtype=np.int64)
+        self.pins = np.ascontiguousarray(pins, dtype=np.int64)
+        self.num_vertices = int(num_vertices)
+        if self.eptr.ndim != 1 or self.eptr.size == 0 or self.eptr[0] != 0:
+            raise GraphFormatError("eptr must be a 1-D prefix array starting at 0")
+        if self.eptr[-1] != self.pins.size:
+            raise GraphFormatError("eptr must end at len(pins)")
+        if np.any(np.diff(self.eptr) < 1):
+            raise GraphFormatError("every hyperedge needs at least one pin")
+        if self.pins.size and (
+            self.pins.min() < 0 or self.pins.max() >= num_vertices
+        ):
+            raise GraphFormatError("pin outside [0, num_vertices)")
+        self._vptr: np.ndarray | None = None
+        self._vedges: np.ndarray | None = None
+
+    @classmethod
+    def from_hyperedges(
+        cls, hyperedges: list[tuple[int, ...]] | list[list[int]],
+        num_vertices: int | None = None,
+    ) -> "Hypergraph":
+        """Build from a list of pin collections (duplicate pins within a
+        hyperedge are dropped; empty hyperedges rejected)."""
+        cleaned = []
+        max_pin = -1
+        for he in hyperedges:
+            unique = sorted(set(int(p) for p in he))
+            if not unique:
+                raise GraphFormatError("empty hyperedge")
+            cleaned.append(unique)
+            max_pin = max(max_pin, unique[-1])
+        n = int(num_vertices) if num_vertices is not None else max_pin + 1
+        eptr = np.zeros(len(cleaned) + 1, dtype=np.int64)
+        eptr[1:] = np.cumsum([len(he) for he in cleaned])
+        pins = (
+            np.concatenate([np.asarray(he, dtype=np.int64) for he in cleaned])
+            if cleaned
+            else np.empty(0, dtype=np.int64)
+        )
+        return cls(eptr, pins, n)
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def num_hyperedges(self) -> int:
+        return int(self.eptr.size - 1)
+
+    @property
+    def num_pins(self) -> int:
+        return int(self.pins.size)
+
+    def hyperedge(self, e: int) -> np.ndarray:
+        """Pins of hyperedge ``e`` (view)."""
+        return self.pins[self.eptr[e] : self.eptr[e + 1]]
+
+    def pin_counts(self) -> np.ndarray:
+        """Number of pins per hyperedge."""
+        return np.diff(self.eptr)
+
+    @property
+    def vertex_degrees(self) -> np.ndarray:
+        """Number of hyperedges incident to each vertex."""
+        return np.bincount(self.pins, minlength=self.num_vertices).astype(np.int64)
+
+    @property
+    def mean_vertex_degree(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_pins / self.num_vertices
+
+    # -- transposed incidence ------------------------------------------------------
+
+    def _build_transpose(self) -> None:
+        order = np.argsort(self.pins, kind="stable")
+        sorted_pins = self.pins[order]
+        # hyperedge id of each pin position
+        owner = np.repeat(np.arange(self.num_hyperedges), self.pin_counts())
+        counts = np.bincount(sorted_pins, minlength=self.num_vertices)
+        vptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=vptr[1:])
+        self._vptr = vptr
+        self._vedges = owner[order]
+
+    def incident_hyperedges(self, v: int) -> np.ndarray:
+        """Hyperedges containing vertex ``v`` (view into the transpose)."""
+        if self._vptr is None:
+            self._build_transpose()
+        assert self._vptr is not None and self._vedges is not None
+        return self._vedges[self._vptr[v] : self._vptr[v + 1]]
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(n={self.num_vertices:,}, "
+            f"hyperedges={self.num_hyperedges:,}, pins={self.num_pins:,})"
+        )

@@ -1,0 +1,201 @@
+"""Hybrid hypergraph partitioning — the paper's future-work extension.
+
+The HEP recipe, lifted pin-for-pin to hypergraphs:
+
+1. **Degree threshold.** Vertices with more than ``tau * mean`` incident
+   hyperedges are *high-degree*.  Hyperedges whose pins are **all**
+   high-degree (the h2h analogue) are diverted to the streaming phase.
+2. **In-memory phase** — HYPE-style neighborhood expansion: a partition
+   grows by repeatedly absorbing the frontier hyperedge with the fewest
+   *external pins* (pins outside the partition's vertex region), which
+   is exactly NE's min-``d_ext`` rule with hyperedges in place of
+   vertices-to-core.
+3. **Informed streaming phase** — remaining hyperedges stream through a
+   min-max scorer (Alistarh et al.): place each hyperedge on the open
+   partition already covering most of its pins, informed by the vertex
+   cover the in-memory phase built.
+
+``MinMaxStreamingHypergraphPartitioner`` is the pure-streaming baseline
+(the analogue of standalone HDRF).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hypergraph.container import Hypergraph
+
+__all__ = [
+    "HybridHypergraphPartitioner",
+    "MinMaxStreamingHypergraphPartitioner",
+    "split_hyperedges",
+]
+
+
+def split_hyperedges(hypergraph: Hypergraph, tau: float) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(high_vertex_mask, streaming_hyperedge_mask)``.
+
+    A hyperedge streams iff every pin is high-degree — the direct
+    analogue of the paper's ``E_h2h``.
+    """
+    if tau <= 0:
+        raise ConfigurationError(f"tau must be positive, got {tau}")
+    degrees = hypergraph.vertex_degrees
+    high = degrees > tau * hypergraph.mean_vertex_degree
+    if hypergraph.num_hyperedges == 0:
+        return high, np.zeros(0, dtype=bool)
+    # Segmented all() over each hyperedge's pins.
+    high_per_pin = high[hypergraph.pins]
+    all_high = np.bitwise_and.reduceat(high_per_pin, hypergraph.eptr[:-1])
+    return high, all_high
+
+
+class MinMaxStreamingHypergraphPartitioner:
+    """Streaming min-max: maximize pin overlap, subject to capacity."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+        self.name = "MinMaxStream"
+
+    def partition(self, hypergraph: Hypergraph, k: int) -> np.ndarray:
+        if k < 2:
+            raise ConfigurationError(f"k must be >= 2, got {k}")
+        parts = np.full(hypergraph.num_hyperedges, -1, dtype=np.int32)
+        cover = np.zeros((k, hypergraph.num_vertices), dtype=bool)
+        loads = np.zeros(k, dtype=np.int64)
+        capacity = max(1, int(np.ceil(self.alpha * hypergraph.num_hyperedges / k)))
+        _stream(hypergraph, np.arange(hypergraph.num_hyperedges), parts, cover,
+                loads, capacity)
+        return parts
+
+
+def _stream(
+    hypergraph: Hypergraph,
+    hyperedge_ids: np.ndarray,
+    parts: np.ndarray,
+    cover: np.ndarray,
+    loads: np.ndarray,
+    capacity: int,
+) -> None:
+    """Min-max scoring pass shared by the baseline and the hybrid phase 2."""
+    for e in hyperedge_ids.tolist():
+        pins = hypergraph.hyperedge(e)
+        overlap = cover[:, pins].sum(axis=1).astype(np.float64)
+        # Load tie-break, hard capacity mask.
+        score = overlap - loads / max(capacity, 1)
+        score[loads >= capacity] = -np.inf
+        p = int(np.argmax(score))
+        if score[p] == -np.inf:
+            p = int(np.argmin(loads))  # relax: report via alpha
+        parts[e] = p
+        cover[p, pins] = True
+        loads[p] += 1
+
+
+class HybridHypergraphPartitioner:
+    """HEP's two-phase design on hypergraphs (paper Section 7 outlook)."""
+
+    def __init__(self, tau: float = 10.0, alpha: float = 1.0) -> None:
+        if tau <= 0:
+            raise ConfigurationError(f"tau must be positive, got {tau}")
+        self.tau = tau
+        self.alpha = alpha
+        self.name = f"HybridHG-{tau:g}"
+        self.last_streaming_share: float | None = None
+
+    def partition(self, hypergraph: Hypergraph, k: int) -> np.ndarray:
+        if k < 2:
+            raise ConfigurationError(f"k must be >= 2, got {k}")
+        m = hypergraph.num_hyperedges
+        high, streaming_mask = split_hyperedges(hypergraph, self.tau)
+        self.last_streaming_share = float(streaming_mask.mean()) if m else 0.0
+
+        parts = np.full(m, -1, dtype=np.int32)
+        cover = np.zeros((k, hypergraph.num_vertices), dtype=bool)
+        loads = np.zeros(k, dtype=np.int64)
+        inmemory_ids = np.flatnonzero(~streaming_mask)
+        capacity_inmem = max(1, int(np.ceil(inmemory_ids.size / k)))
+        self._expand_inmemory(
+            hypergraph, inmemory_ids, parts, cover, loads, capacity_inmem, k
+        )
+        # Informed streaming over the all-high hyperedges.
+        stream_ids = np.flatnonzero(streaming_mask)
+        capacity_total = max(
+            int(np.ceil(self.alpha * m / k)), int(loads.max()) + 1
+        )
+        _stream(hypergraph, stream_ids, parts, cover, loads, capacity_total)
+        return parts
+
+    def _expand_inmemory(
+        self,
+        hypergraph: Hypergraph,
+        hyperedge_ids: np.ndarray,
+        parts: np.ndarray,
+        cover: np.ndarray,
+        loads: np.ndarray,
+        capacity: int,
+        k: int,
+    ) -> None:
+        """Neighborhood expansion: per partition, repeatedly absorb the
+        frontier hyperedge with the fewest external pins."""
+        eligible = np.zeros(hypergraph.num_hyperedges, dtype=bool)
+        eligible[hyperedge_ids] = True
+        assigned = ~eligible  # streaming hyperedges are off-limits here
+        seed_cursor = 0
+        order = hyperedge_ids  # sequential seed scan, as in NE++
+
+        for p in range(k - 1):
+            region = cover[p]
+            # Lazy min-heap of (external pin count, hyperedge id).
+            frontier: list[tuple[int, int]] = []
+
+            def external(e: int) -> int:
+                pins = hypergraph.hyperedge(e)
+                return int((~region[pins]).sum())
+
+            def absorb(e: int) -> None:
+                pins = hypergraph.hyperedge(e)
+                parts[e] = p
+                assigned[e] = True
+                loads[p] += 1
+                fresh = pins[~region[pins]]
+                region[pins] = True
+                # External counts only ever decrease, and every decrease
+                # (a pin joining the region) re-pushes the affected
+                # hyperedges with their updated count — so the heap's
+                # minimum key is always current and accept-on-pop is exact.
+                for pin in fresh.tolist():
+                    for nxt in hypergraph.incident_hyperedges(pin).tolist():
+                        if not assigned[nxt]:
+                            heapq.heappush(frontier, (external(nxt), nxt))
+
+            while loads[p] < capacity:
+                e = -1
+                while frontier:
+                    _ext, cand = heapq.heappop(frontier)
+                    if not assigned[cand]:
+                        e = cand
+                        break
+                if e < 0:
+                    # Seed scan (sequential, skip-once like NE++).
+                    while seed_cursor < order.size and assigned[order[seed_cursor]]:
+                        seed_cursor += 1
+                    if seed_cursor >= order.size:
+                        break
+                    e = int(order[seed_cursor])
+                    seed_cursor += 1
+                absorb(e)
+            if seed_cursor >= order.size and not frontier:
+                break
+        # Last partition: sweep every remaining in-memory hyperedge.
+        p = k - 1
+        for e in hyperedge_ids.tolist():
+            if not assigned[e]:
+                pins = hypergraph.hyperedge(e)
+                parts[e] = p
+                assigned[e] = True
+                loads[p] += 1
+                cover[p, pins] = True

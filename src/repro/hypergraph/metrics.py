@@ -1,0 +1,66 @@
+"""Quality metrics for hyperedge partitionings (vertex-cut analogue)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.hypergraph.container import Hypergraph
+
+__all__ = [
+    "hyper_cover_matrix",
+    "hyper_replication_factor",
+    "hyper_balance",
+    "assert_valid_hyper",
+]
+
+
+def hyper_cover_matrix(
+    hypergraph: Hypergraph, parts: np.ndarray, k: int
+) -> np.ndarray:
+    """Boolean ``(k, n)``: partition ``p`` covers vertex ``v`` iff some
+    hyperedge containing ``v`` is assigned to ``p``."""
+    cover = np.zeros((k, hypergraph.num_vertices), dtype=bool)
+    owner = np.repeat(parts, hypergraph.pin_counts())
+    mask = owner >= 0
+    cover[owner[mask], hypergraph.pins[mask]] = True
+    return cover
+
+
+def hyper_replication_factor(hypergraph: Hypergraph, parts: np.ndarray, k: int) -> float:
+    """Mean replicas per covered vertex — the paper's RF, lifted to pins."""
+    cover = hyper_cover_matrix(hypergraph, parts, k)
+    replicas = cover.sum(axis=0)
+    covered = hypergraph.vertex_degrees > 0
+    denom = max(int(covered.sum()), 1)
+    return float(replicas[covered].sum() / denom)
+
+
+def hyper_balance(hypergraph: Hypergraph, parts: np.ndarray, k: int) -> float:
+    """Hyperedge-count balance alpha (max load / ideal load)."""
+    m = hypergraph.num_hyperedges
+    if m == 0:
+        return 1.0
+    sizes = np.bincount(parts[parts >= 0], minlength=k)
+    return float(sizes.max() / (m / k))
+
+
+def assert_valid_hyper(
+    hypergraph: Hypergraph, parts: np.ndarray, k: int, alpha: float | None = None
+) -> None:
+    """Every hyperedge assigned exactly once, ids in range, balance kept."""
+    if parts.shape != (hypergraph.num_hyperedges,):
+        raise ValidationError(
+            f"parts shape {parts.shape} != ({hypergraph.num_hyperedges},)"
+        )
+    if (parts < 0).any():
+        raise ValidationError(f"{int((parts < 0).sum())} hyperedges unassigned")
+    if parts.size and parts.max() >= k:
+        raise ValidationError(f"partition id {int(parts.max())} out of range")
+    if alpha is not None and hypergraph.num_hyperedges:
+        cap = int(np.ceil(alpha * hypergraph.num_hyperedges / k))
+        sizes = np.bincount(parts, minlength=k)
+        if sizes.max() > cap:
+            raise ValidationError(
+                f"partition size {int(sizes.max())} exceeds capacity {cap}"
+            )

@@ -1,0 +1,21 @@
+"""Paging simulator: NE++ under memory limits (Table 6 substitute)."""
+
+from repro.memsim.lru import PAGE_BYTES, LruPageCache
+from repro.memsim.paging import (
+    DEFAULT_FAULT_PENALTY_S,
+    PagingResult,
+    replay_trace,
+    run_paged_ne_plus_plus,
+)
+from repro.memsim.trace import PageTrace, build_page_trace
+
+__all__ = [
+    "LruPageCache",
+    "PAGE_BYTES",
+    "PageTrace",
+    "build_page_trace",
+    "PagingResult",
+    "replay_trace",
+    "run_paged_ne_plus_plus",
+    "DEFAULT_FAULT_PENALTY_S",
+]

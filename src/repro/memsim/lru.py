@@ -1,0 +1,65 @@
+"""LRU page cache — the resident-set model behind the Table 6 experiment.
+
+The paper restricts NE++'s memory with cgroups and lets the OS swap to
+SSD; hard page faults are then exactly the misses of the algorithm's
+memory reference string against a fixed-size resident set managed by an
+(approximately) LRU policy.  This class is that policy: pages are 4 KiB,
+a miss counts as one hard fault, and the cache evicts the least recently
+used page when full.
+
+LRU is a stack algorithm, so fault counts are monotone non-increasing in
+cache size (the inclusion property) — a property the tests verify and the
+Table 6 reproduction relies on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LruPageCache", "PAGE_BYTES"]
+
+PAGE_BYTES = 4096
+
+
+class LruPageCache:
+    """Fixed-capacity LRU cache over integer page ids."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise ConfigurationError(
+                f"cache needs at least one page, got {capacity_pages}"
+            )
+        self.capacity = capacity_pages
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.faults = 0
+
+    def access(self, page: int) -> bool:
+        """Touch ``page``; returns ``True`` on a hit, ``False`` on a fault."""
+        pages = self._pages
+        if page in pages:
+            pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.faults += 1
+        if len(pages) >= self.capacity:
+            pages.popitem(last=False)
+        pages[page] = None
+        return False
+
+    def access_range(self, first_page: int, last_page: int) -> int:
+        """Touch an inclusive page range; returns the number of faults."""
+        before = self.faults
+        for page in range(first_page, last_page + 1):
+            self.access(page)
+        return self.faults - before
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def total_accesses(self) -> int:
+        return self.hits + self.faults

@@ -1,0 +1,92 @@
+"""NE++ under a memory limit: the Table 6 experiment.
+
+The paper compares two ways of handling a graph that does not fit in
+memory: (a) run unpruned NE++ and let the OS page to SSD under a cgroup
+limit, or (b) use HEP's ``tau`` knob.  Table 6 shows paging's run-time
+and hard-fault count exploding as the limit shrinks below the working
+set, while HEP at ``tau = 1`` stays fault-free in comparable memory.
+
+Here the cgroup+SSD machinery is replaced by a trace replay: NE++ runs
+normally (recording its adjacency walks), the walks are mapped to pages
+(:mod:`repro.memsim.trace`), and an LRU resident set of the configured
+size counts the hard faults.  The modeled run-time is::
+
+    runtime = algorithm_seconds + faults * fault_penalty
+
+with the default penalty calibrated from Table 6 itself (the paper's
+fault counts and run-time deltas imply roughly 300 microseconds per
+hard fault on their SSD).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.ne_plus_plus import run_ne_plus_plus
+from repro.errors import ConfigurationError
+from repro.graph.edgelist import Graph
+from repro.memsim.lru import PAGE_BYTES, LruPageCache
+from repro.memsim.trace import PageTrace, build_page_trace
+
+__all__ = ["PagingResult", "run_paged_ne_plus_plus", "replay_trace"]
+
+#: seconds per hard page fault (SSD swap-in), calibrated from Table 6
+DEFAULT_FAULT_PENALTY_S = 300e-6
+
+
+@dataclass(frozen=True)
+class PagingResult:
+    """One row of the Table 6 reproduction."""
+
+    memory_limit_bytes: int
+    page_faults: int
+    algorithm_seconds: float
+    modeled_runtime_seconds: float
+    working_set_pages: int
+    cache_pages: int
+
+    @property
+    def thrashing_ratio(self) -> float:
+        """Faults per resident page — rises sharply once the working set
+        no longer fits."""
+        return self.page_faults / max(self.cache_pages, 1)
+
+
+def replay_trace(trace: PageTrace, memory_limit_bytes: int) -> LruPageCache:
+    """Replay ``trace`` through an LRU resident set of the given size."""
+    capacity = max(memory_limit_bytes // PAGE_BYTES, 1)
+    cache = LruPageCache(capacity)
+    for first, last in trace.ranges:
+        cache.access_range(first, last)
+    return cache
+
+
+def run_paged_ne_plus_plus(
+    graph: Graph,
+    k: int,
+    memory_limit_bytes: int,
+    tau: float = float("inf"),
+    fault_penalty_s: float = DEFAULT_FAULT_PENALTY_S,
+) -> PagingResult:
+    """Run NE++ and model its behaviour under ``memory_limit_bytes``."""
+    if memory_limit_bytes < PAGE_BYTES:
+        raise ConfigurationError(
+            f"memory limit must be at least one page ({PAGE_BYTES} bytes)"
+        )
+    walks: list[int] = []
+    start = time.perf_counter()
+    run_ne_plus_plus(graph, k, tau=tau, trace_walk=walks.append)
+    algorithm_seconds = time.perf_counter() - start
+
+    trace = build_page_trace(graph, walks, tau)
+    cache = replay_trace(trace, memory_limit_bytes)
+    runtime = algorithm_seconds + cache.faults * fault_penalty_s
+    return PagingResult(
+        memory_limit_bytes=memory_limit_bytes,
+        page_faults=cache.faults,
+        algorithm_seconds=algorithm_seconds,
+        modeled_runtime_seconds=runtime,
+        working_set_pages=trace.working_set_pages(),
+        cache_pages=cache.capacity,
+    )

@@ -1,0 +1,96 @@
+"""Memory-reference traces of NE++ runs.
+
+NE++ reports, through its ``trace_walk`` hook, every vertex whose
+adjacency list it walks.  This module maps those walks to byte ranges of
+the data structures of Section 4.2 laid out in one flat address space:
+
+* the four index/size arrays (touched at offset ``v * id_bytes`` each),
+* the column array (touched at the vertex's adjacency window).
+
+Replaying the resulting page trace through an LRU cache of a given size
+reproduces the hard-fault behaviour of running NE++ under a cgroup
+memory limit (Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CsrGraph
+from repro.graph.edgelist import Graph
+from repro.graph.pruned import high_degree_mask
+from repro.memsim.lru import PAGE_BYTES
+
+__all__ = ["PageTrace", "build_page_trace"]
+
+
+@dataclass(frozen=True)
+class PageTrace:
+    """A replayable sequence of inclusive page ranges."""
+
+    ranges: list[tuple[int, int]]
+    address_space_bytes: int
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def total_pages(self) -> int:
+        return -(-self.address_space_bytes // PAGE_BYTES)
+
+    def working_set_pages(self) -> int:
+        """Number of distinct pages touched by the whole trace."""
+        seen: set[int] = set()
+        for first, last in self.ranges:
+            seen.update(range(first, last + 1))
+        return len(seen)
+
+
+def build_page_trace(
+    graph: Graph,
+    walks: list[int],
+    tau: float,
+    id_bytes: int = 4,
+) -> PageTrace:
+    """Convert a recorded walk sequence into page ranges.
+
+    The CSR layout is rebuilt deterministically from ``(graph, tau)`` so
+    callers only need to record vertex ids.  Adjacency windows use the
+    build-time capacities (lazy removal shrinks the *valid* prefix, but
+    the resident pages of a list are its allocated extent).
+    """
+    if np.isinf(tau):
+        high = np.zeros(graph.num_vertices, dtype=bool)
+    else:
+        high = high_degree_mask(graph, tau)
+    csr = CsrGraph.build(graph, high_mask=high)
+
+    n = graph.num_vertices
+    index_region_bytes = 4 * n * id_bytes
+    column_offset = index_region_bytes
+    column_bytes = int(csr.col.size) * id_bytes
+    total_bytes = column_offset + column_bytes
+
+    out_start = csr.out_start
+    in_start = csr.in_start
+    in_cap = np.empty(n, dtype=np.int64)
+    if n:
+        in_cap[:-1] = out_start[1:] - in_start[:-1]
+        in_cap[-1] = csr.col.size - in_start[-1]
+
+    ranges: list[tuple[int, int]] = []
+    for v in walks:
+        # Index/size array touches: four arrays, each at v * id_bytes.
+        for array_index in range(4):
+            byte = array_index * n * id_bytes + v * id_bytes
+            page = byte // PAGE_BYTES
+            ranges.append((page, page))
+        # Column-array window of v.
+        start_byte = column_offset + int(out_start[v]) * id_bytes
+        end_entry = int(in_start[v]) + int(in_cap[v])
+        end_byte = max(column_offset + end_entry * id_bytes - 1, start_byte)
+        ranges.append((start_byte // PAGE_BYTES, end_byte // PAGE_BYTES))
+    return PageTrace(ranges=ranges, address_space_bytes=total_bytes)

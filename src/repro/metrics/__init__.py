@@ -1,0 +1,32 @@
+"""Quality metrics for edge partitionings (Section 2 definitions)."""
+
+from repro.metrics.balance import edge_balance, load_distribution, vertex_balance
+from repro.metrics.communication import (
+    boundary_vertices_per_partition,
+    communication_volume,
+    num_cut_vertices,
+)
+from repro.metrics.replication import (
+    replicas_per_vertex,
+    replication_factor,
+    rf_by_degree_bucket,
+)
+from repro.metrics.report import PartitionReport, format_table, summarize
+from repro.metrics.validity import assert_valid, is_valid
+
+__all__ = [
+    "replication_factor",
+    "replicas_per_vertex",
+    "rf_by_degree_bucket",
+    "edge_balance",
+    "vertex_balance",
+    "load_distribution",
+    "assert_valid",
+    "is_valid",
+    "PartitionReport",
+    "summarize",
+    "format_table",
+    "communication_volume",
+    "num_cut_vertices",
+    "boundary_vertices_per_partition",
+]

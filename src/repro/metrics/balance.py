@@ -1,0 +1,48 @@
+"""Balance metrics: edge balance (the paper's ``alpha``) and vertex balance.
+
+Edge balance is the classic balancing-constraint slack::
+
+    alpha = max_i |p_i| / (|E| / k)
+
+Vertex balance (Table 5) is the normalized spread of per-partition
+replica counts — ``std / mean`` of ``|V(p_i)|`` — which the paper shows
+matters for processing performance once replication factors saturate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.base import PartitionAssignment
+
+__all__ = ["edge_balance", "vertex_balance", "load_distribution"]
+
+
+def edge_balance(assignment: PartitionAssignment) -> float:
+    """``alpha`` achieved by the assignment (1.0 = perfectly balanced)."""
+    m = assignment.graph.num_edges
+    if m == 0:
+        return 1.0
+    sizes = assignment.partition_sizes()
+    return float(sizes.max() / (m / assignment.k))
+
+
+def vertex_balance(assignment: PartitionAssignment) -> float:
+    """Std-deviation / mean of vertex replicas per partition (Table 5)."""
+    cover = assignment.cover_matrix().sum(axis=1).astype(np.float64)
+    mean = cover.mean()
+    if mean == 0:
+        return 0.0
+    return float(cover.std() / mean)
+
+
+def load_distribution(assignment: PartitionAssignment) -> dict[str, float]:
+    """Summary of the edge-load distribution across partitions."""
+    sizes = assignment.partition_sizes().astype(np.float64)
+    return {
+        "min": float(sizes.min()),
+        "max": float(sizes.max()),
+        "mean": float(sizes.mean()),
+        "std": float(sizes.std()),
+        "alpha": edge_balance(assignment),
+    }

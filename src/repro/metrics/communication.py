@@ -1,0 +1,48 @@
+"""Static communication-volume metrics.
+
+The replication factor is a *normalized* quality measure; distributed
+systems also care about the raw quantities it normalizes away:
+
+* **communication volume** — replicas beyond the master copy, i.e. the
+  number of vertex-state synchronizations one superstep with all
+  vertices active would trigger (``sum_v (r(v) - 1)``),
+* **cut vertices** — how many vertices are replicated at all,
+* per-partition **boundary vertices** — the replicas each machine must
+  exchange, whose spread is Table 5's vertex-balance metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.replication import replicas_per_vertex
+from repro.partition.base import PartitionAssignment
+
+__all__ = [
+    "communication_volume",
+    "num_cut_vertices",
+    "boundary_vertices_per_partition",
+]
+
+
+def communication_volume(assignment: PartitionAssignment) -> int:
+    """Total replicas beyond one per covered vertex."""
+    replicas = replicas_per_vertex(assignment)
+    covered = replicas > 0
+    return int((replicas[covered] - 1).sum())
+
+
+def num_cut_vertices(assignment: PartitionAssignment) -> int:
+    """Number of vertices replicated on two or more partitions."""
+    return int((replicas_per_vertex(assignment) > 1).sum())
+
+
+def boundary_vertices_per_partition(assignment: PartitionAssignment) -> np.ndarray:
+    """Per-partition count of *replicated* covered vertices.
+
+    A vertex covered by exactly one partition is internal to it and never
+    synchronized; everything else is boundary traffic for each holder.
+    """
+    cover = assignment.cover_matrix()
+    replicated = cover.sum(axis=0) > 1
+    return (cover & replicated).sum(axis=1).astype(np.int64)

@@ -1,0 +1,65 @@
+"""Replication factor — the paper's primary quality metric.
+
+    RF(p_1..p_k) = (1 / |V|) * sum_i |V(p_i)|
+
+where ``V(p_i)`` is the set of vertices covered by the edges of partition
+``p_i``.  We normalize by the number of *covered* vertices (degree >= 1):
+generators may leave isolated ids in the universe, and an isolated vertex
+is never replicated by any partitioner, so including it would only dilute
+comparisons (real edge-list datasets have no isolated vertices at all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.stats import degree_buckets
+from repro.partition.base import PartitionAssignment
+
+__all__ = [
+    "replication_factor",
+    "replicas_per_vertex",
+    "rf_by_degree_bucket",
+]
+
+
+def replicas_per_vertex(assignment: PartitionAssignment) -> np.ndarray:
+    """Number of partitions covering each vertex (0 for uncovered)."""
+    return assignment.cover_matrix().sum(axis=0).astype(np.int64)
+
+
+def replication_factor(assignment: PartitionAssignment) -> float:
+    """Mean number of replicas per covered vertex."""
+    replicas = replicas_per_vertex(assignment)
+    covered = assignment.graph.degrees > 0
+    n = int(covered.sum())
+    if n == 0:
+        return 0.0
+    return float(replicas[covered].sum() / n)
+
+
+def rf_by_degree_bucket(
+    assignment: PartitionAssignment,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Figure 2's series: per decade degree bucket ([1,10], [11,100], ...)
+    return ``(vertex_fraction, mean_rf, bucket_ids)``.
+
+    ``vertex_fraction`` is the share of covered vertices in the bucket,
+    ``mean_rf`` the average replica count of those vertices.
+    """
+    degrees = assignment.graph.degrees
+    buckets = degree_buckets(degrees)
+    replicas = replicas_per_vertex(assignment)
+    covered = buckets >= 0
+    num_buckets = int(buckets.max()) + 1 if covered.any() else 0
+    fractions = np.zeros(num_buckets)
+    mean_rf = np.zeros(num_buckets)
+    total = int(covered.sum())
+    for b in range(num_buckets):
+        members = buckets == b
+        count = int(members.sum())
+        if count == 0:
+            continue
+        fractions[b] = count / total
+        mean_rf[b] = float(replicas[members].mean())
+    return fractions, mean_rf, np.arange(num_buckets)

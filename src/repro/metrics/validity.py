@@ -1,0 +1,75 @@
+"""Structural validity of an edge partitioning.
+
+A valid edge partitioning (paper Section 2) assigns every edge to
+exactly one partition and respects the balancing constraint.  These
+checks are the backbone of the test suite's property tests: every
+partitioner in the library must produce assignments that pass
+:func:`assert_valid`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.partition.base import PartitionAssignment, capacity_bound
+
+__all__ = ["assert_valid", "is_valid"]
+
+
+def assert_valid(
+    assignment: PartitionAssignment,
+    alpha: float | None = None,
+    require_complete: bool = True,
+) -> None:
+    """Raise :class:`ValidationError` describing the first violation found.
+
+    With ``alpha`` given, partition sizes must stay within
+    ``capacity_bound(m, k, alpha)`` — the hard constraint form the
+    partitioners themselves enforce.
+    """
+    parts = assignment.parts
+    k = assignment.k
+    m = assignment.graph.num_edges
+
+    if parts.shape != (m,):
+        raise ValidationError(f"parts shape {parts.shape} != ({m},)")
+    if require_complete and (parts < 0).any():
+        missing = int((parts < 0).sum())
+        raise ValidationError(f"{missing} of {m} edges unassigned")
+    if parts.size and parts.max(initial=-1) >= k:
+        raise ValidationError(f"partition id {int(parts.max())} out of range (k={k})")
+
+    if alpha is not None and m:
+        cap = capacity_bound(m, k, alpha)
+        sizes = assignment.partition_sizes()
+        worst = int(sizes.max())
+        if worst > cap:
+            raise ValidationError(
+                f"partition size {worst} exceeds capacity {cap} "
+                f"(m={m}, k={k}, alpha={alpha}); sizes={sizes.tolist()}"
+            )
+
+    # Cover consistency: every covered vertex must be an endpoint of an
+    # assigned edge in that partition (cover_matrix construction makes
+    # this true by construction; validate the reverse direction).
+    if m and require_complete:
+        cover = assignment.cover_matrix()
+        u = assignment.graph.edges[:, 0]
+        v = assignment.graph.edges[:, 1]
+        ok = cover[parts, u].all() and cover[parts, v].all()
+        if not ok:
+            raise ValidationError("cover matrix misses an assigned endpoint")
+
+
+def is_valid(
+    assignment: PartitionAssignment,
+    alpha: float | None = None,
+    require_complete: bool = True,
+) -> bool:
+    """Boolean form of :func:`assert_valid`."""
+    try:
+        assert_valid(assignment, alpha=alpha, require_complete=require_complete)
+    except ValidationError:
+        return False
+    return True

@@ -1,0 +1,13 @@
+"""Parallel HEP — the paper's future-work direction on parallelism.
+
+See :mod:`repro.parallel.bsp_streaming` for the bulk-synchronous
+parallel streaming phase and :class:`ParallelHepPartitioner`.
+"""
+
+from repro.parallel.bsp_streaming import (
+    BspStreamReport,
+    ParallelHepPartitioner,
+    bsp_hdrf_stream,
+)
+
+__all__ = ["ParallelHepPartitioner", "bsp_hdrf_stream", "BspStreamReport"]

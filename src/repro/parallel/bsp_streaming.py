@@ -1,0 +1,180 @@
+"""Bulk-synchronous parallel (BSP) streaming — parallel HEP's phase two.
+
+The paper closes with "we aim to further improve the performance of HEP
+by focusing on parallelism and distribution".  The in-memory phase is
+hard to parallelize without becoming DNE (whose quality penalty Figure 8
+shows); the streaming phase, however, parallelizes naturally in the BSP
+model that distributed stream processors use:
+
+* the h2h edge stream is split round-robin across ``workers``,
+* each superstep, every worker scores and places one batch of its edges
+  against a *shared immutable snapshot* of the replica/load state,
+* a barrier merges the workers' deltas (replica marks OR-ed, loads
+  summed) into the next snapshot.
+
+Staleness is the price of parallelism: within a superstep, workers do
+not see each other's placements.  ``batch = 1`` with one worker is
+exactly sequential informed HDRF; growing ``workers * batch`` trades
+replication factor for parallel throughput.  This module executes the
+schedule deterministically in process (one OS process — the *semantics*
+of parallel execution, not its wall-clock; DESIGN.md documents the
+substitution) and reports the modeled speedup: sequential rounds divided
+by BSP supersteps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ne_plus_plus import run_ne_plus_plus
+from repro.errors import CapacityError, ConfigurationError
+from repro.graph.edgelist import Graph
+from repro.partition.base import PartitionAssignment, Partitioner, capacity_bound
+from repro.partition.state import StreamingState
+
+__all__ = ["bsp_hdrf_stream", "ParallelHepPartitioner", "BspStreamReport"]
+
+
+@dataclass(frozen=True)
+class BspStreamReport:
+    """What the BSP schedule did: its size and modeled parallel speedup."""
+
+    workers: int
+    batch: int
+    supersteps: int
+    edges_streamed: int
+
+    @property
+    def modeled_speedup(self) -> float:
+        """Sequential edge-rounds over BSP supersteps (ideal network)."""
+        if self.supersteps == 0:
+            return 1.0
+        return self.edges_streamed / (self.supersteps * self.batch)
+
+
+def bsp_hdrf_stream(
+    state: StreamingState,
+    edges: np.ndarray,
+    eids: np.ndarray,
+    parts_out: np.ndarray,
+    workers: int,
+    batch: int = 8,
+    lam: float = 1.1,
+    eps: float = 1.0,
+) -> BspStreamReport:
+    """Stream ``edges`` through HDRF scoring under a BSP schedule.
+
+    Mutates ``state`` and ``parts_out`` like
+    :func:`repro.partition.hdrf.hdrf_stream`, but in supersteps of
+    ``workers * batch`` edges scored against a frozen snapshot.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if batch < 1:
+        raise ConfigurationError(f"batch must be >= 1, got {batch}")
+    m = int(edges.shape[0])
+    # Round-robin ownership, as a distributed ingest layer would shard.
+    streams = [np.arange(w, m, workers) for w in range(workers)]
+    cursors = [0] * workers
+    supersteps = 0
+
+    while any(cursors[w] < streams[w].size for w in range(workers)):
+        snapshot_replicas = state.replicas.copy()
+        snapshot_loads = state.loads.copy()
+        supersteps += 1
+        for w in range(workers):
+            take = streams[w][cursors[w] : cursors[w] + batch]
+            cursors[w] += batch
+            for i in take.tolist():
+                u = int(edges[i, 0])
+                v = int(edges[i, 1])
+                p = _score_on_snapshot(
+                    snapshot_replicas, snapshot_loads, state, u, v, lam, eps
+                )
+                if p < 0:
+                    raise CapacityError("BSP stream: all partitions full")
+                # Local delta applies to the live state; the snapshot stays
+                # frozen until the barrier (= this loop's end).
+                state.place(u, v, p)
+                parts_out[eids[i]] = p
+    return BspStreamReport(workers, batch, supersteps, m)
+
+
+def _score_on_snapshot(
+    replicas: np.ndarray,
+    loads: np.ndarray,
+    state: StreamingState,
+    u: int,
+    v: int,
+    lam: float,
+    eps: float,
+) -> int:
+    du = state.degrees[u]
+    dv = state.degrees[v]
+    total = du + dv
+    theta_u = du / total if total else 0.5
+    theta_v = 1.0 - theta_u
+    score = replicas[:, u] * (2.0 - theta_u) + replicas[:, v] * (2.0 - theta_v)
+    maxload = loads.max()
+    minload = loads.min()
+    score = score + lam * (maxload - loads) / (eps + maxload - minload)
+    # The *capacity* check uses live loads: a real system enforces its
+    # hard bound at the (serialized) partition owner, not the snapshot.
+    score = np.where(state.loads < state.capacity, score, -np.inf)
+    p = int(np.argmax(score))
+    return -1 if score[p] == -np.inf else p
+
+
+class ParallelHepPartitioner(Partitioner):
+    """HEP with a BSP-parallel streaming phase.
+
+    Phase one (NE++) is unchanged; phase two streams the h2h edges with
+    ``workers`` BSP workers and per-superstep batches of ``batch``.
+    ``workers=1, batch=1`` reproduces sequential HEP exactly.
+    """
+
+    def __init__(
+        self,
+        tau: float = 10.0,
+        workers: int = 4,
+        batch: int = 8,
+        alpha: float = 1.0,
+        lam: float = 1.1,
+        eps: float = 1.0,
+    ) -> None:
+        if tau <= 0:
+            raise ConfigurationError(f"tau must be positive, got {tau}")
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.tau = tau
+        self.workers = workers
+        self.batch = batch
+        self.alpha = alpha
+        self.lam = lam
+        self.eps = eps
+        self.last_report: BspStreamReport | None = None
+        self.name = f"HEP-BSP-{tau:g}x{workers}"
+
+    def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        self._require_k(graph, k)
+        phase_one = run_ne_plus_plus(graph, k, tau=self.tau)
+        parts = phase_one.parts
+        h2h = phase_one.h2h
+        if h2h.num_edges:
+            capacity = capacity_bound(graph.num_edges, k, self.alpha)
+            capacity = max(capacity, int(phase_one.loads.max()) + 1)
+            state = StreamingState.informed(
+                graph, k, capacity,
+                replicas=phase_one.secondary,
+                loads=phase_one.loads,
+            )
+            self.last_report = bsp_hdrf_stream(
+                state, h2h.pairs, h2h.eids, parts,
+                workers=self.workers, batch=self.batch,
+                lam=self.lam, eps=self.eps,
+            )
+        else:
+            self.last_report = BspStreamReport(self.workers, self.batch, 0, 0)
+        return PartitionAssignment(graph, k, parts)

@@ -1,0 +1,48 @@
+"""Edge partitioners: framework plus all baseline algorithms.
+
+The hybrid system itself (HEP / NE++) lives in :mod:`repro.core`; this
+package provides the common framework and the seven baseline families the
+paper compares against.
+"""
+
+from repro.partition.adwise import AdwisePartitioner
+from repro.partition.base import (
+    PartitionAssignment,
+    Partitioner,
+    TimedResult,
+    capacity_bound,
+)
+from repro.partition.dbh import DbhPartitioner
+from repro.partition.dne import DnePartitioner
+from repro.partition.greedy import GreedyPartitioner
+from repro.partition.grid import GridPartitioner
+from repro.partition.hdrf import HdrfPartitioner, hdrf_stream
+from repro.partition.metis import MetisPartitioner
+from repro.partition.ne import NePartitioner
+from repro.partition.random_stream import RandomStreamPartitioner, random_stream
+from repro.partition.restreaming import RestreamingHdrfPartitioner
+from repro.partition.simple_hybrid import SimpleHybridPartitioner
+from repro.partition.sne import SnePartitioner
+from repro.partition.state import StreamingState
+
+__all__ = [
+    "Partitioner",
+    "PartitionAssignment",
+    "TimedResult",
+    "capacity_bound",
+    "StreamingState",
+    "HdrfPartitioner",
+    "hdrf_stream",
+    "GreedyPartitioner",
+    "DbhPartitioner",
+    "GridPartitioner",
+    "RandomStreamPartitioner",
+    "random_stream",
+    "AdwisePartitioner",
+    "NePartitioner",
+    "SnePartitioner",
+    "DnePartitioner",
+    "MetisPartitioner",
+    "SimpleHybridPartitioner",
+    "RestreamingHdrfPartitioner",
+]

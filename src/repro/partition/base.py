@@ -1,0 +1,149 @@
+"""Partitioner framework: configuration, result container, base class.
+
+Every partitioner in this library — streaming, in-memory, or hybrid —
+consumes a :class:`~repro.graph.edgelist.Graph` and produces a
+:class:`PartitionAssignment`: one partition id per canonical edge.  All
+quality metrics (replication factor, balance) are derived from that
+single array, so results from very different algorithms are directly
+comparable and checkable.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PartitioningError
+from repro.graph.edgelist import Graph
+
+__all__ = ["PartitionAssignment", "Partitioner", "capacity_bound", "TimedResult"]
+
+UNASSIGNED = -1
+
+
+def capacity_bound(num_edges: int, k: int, alpha: float = 1.0) -> int:
+    """Per-partition edge capacity ``ceil(alpha * |E| / k)``.
+
+    This is the paper's balancing constraint ``|p_i| <= alpha * |E| / k``
+    rounded up so that a perfectly balanced assignment is always feasible.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if alpha < 1.0:
+        raise ConfigurationError(f"alpha must be >= 1.0, got {alpha}")
+    return max(1, int(np.ceil(alpha * num_edges / k)))
+
+
+class PartitionAssignment:
+    """Edge partitioning result: ``parts[e]`` is the partition of edge ``e``.
+
+    The heavy metrics live in :mod:`repro.metrics`; the methods here are
+    thin conveniences that delegate to them.
+    """
+
+    def __init__(self, graph: Graph, k: int, parts: np.ndarray) -> None:
+        parts = np.asarray(parts, dtype=np.int32)
+        if parts.shape != (graph.num_edges,):
+            raise ConfigurationError(
+                f"parts must have one entry per edge "
+                f"({graph.num_edges}), got shape {parts.shape}"
+            )
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.graph = graph
+        self.k = int(k)
+        self.parts = parts
+
+    @classmethod
+    def empty(cls, graph: Graph, k: int) -> "PartitionAssignment":
+        """All-unassigned result to be filled in by a partitioner."""
+        return cls(graph, k, np.full(graph.num_edges, UNASSIGNED, dtype=np.int32))
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def num_unassigned(self) -> int:
+        return int((self.parts == UNASSIGNED).sum())
+
+    def partition_sizes(self) -> np.ndarray:
+        """Number of edges in each partition (ignores unassigned)."""
+        assigned = self.parts[self.parts >= 0]
+        return np.bincount(assigned, minlength=self.k).astype(np.int64)
+
+    def partition_edges(self, p: int) -> np.ndarray:
+        """Edge ids assigned to partition ``p``."""
+        return np.flatnonzero(self.parts == p)
+
+    def cover_matrix(self) -> np.ndarray:
+        """Boolean ``(k, n)`` matrix: partition ``p`` covers vertex ``v``."""
+        cover = np.zeros((self.k, self.graph.num_vertices), dtype=bool)
+        mask = self.parts >= 0
+        p = self.parts[mask]
+        cover[p, self.graph.edges[mask, 0]] = True
+        cover[p, self.graph.edges[mask, 1]] = True
+        return cover
+
+    # -- metric conveniences ---------------------------------------------------
+
+    def replication_factor(self) -> float:
+        from repro.metrics.replication import replication_factor
+
+        return replication_factor(self)
+
+    def balance(self) -> float:
+        from repro.metrics.balance import edge_balance
+
+        return edge_balance(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionAssignment(k={self.k}, m={self.graph.num_edges:,}, "
+            f"unassigned={self.num_unassigned})"
+        )
+
+
+@dataclass
+class TimedResult:
+    """A partitioning run together with its measured cost."""
+
+    assignment: PartitionAssignment
+    runtime_s: float
+    partitioner: str
+    memory_bytes: int | None = None
+    extra: dict = field(default_factory=dict)
+
+
+class Partitioner(abc.ABC):
+    """Base class: a named algorithm mapping ``(graph, k)`` to an assignment.
+
+    Subclasses implement :meth:`partition`.  Configuration (``alpha``,
+    ``tau``, seeds, ...) belongs in the constructor so one configured
+    instance can be applied to many graphs — the way the experiment
+    harness sweeps them.
+    """
+
+    #: short identifier used in tables ("HDRF", "NE", "HEP-10", ...)
+    name: str = "base"
+
+    @abc.abstractmethod
+    def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Partition the edges of ``graph`` into ``k`` parts."""
+
+    def partition_timed(self, graph: Graph, k: int) -> TimedResult:
+        """Run :meth:`partition` under a wall-clock timer."""
+        start = time.perf_counter()
+        assignment = self.partition(graph, k)
+        elapsed = time.perf_counter() - start
+        return TimedResult(assignment, elapsed, self.name)
+
+    def _require_k(self, graph: Graph, k: int) -> None:
+        if k < 2:
+            raise ConfigurationError(f"{self.name}: k must be >= 2, got {k}")
+        if graph.num_edges == 0:
+            raise PartitioningError(f"{self.name}: graph has no edges")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,67 @@
+"""Grid: 2-D constrained hashing (GraphBuilder's stateless partitioner).
+
+Jain et al. (GRADES'13).  Partitions are arranged in an ``r x c`` grid.
+Every vertex hashes to a home cell; its *shard candidate set* is the home
+row plus home column.  An edge may be placed on any cell in the
+intersection of its endpoints' candidate sets — we take the pair of
+crossing cells and keep the one with the lower current load.  This bounds
+the replication factor of any vertex by ``r + c - 1`` while staying
+stateless apart from load counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import Graph
+from repro.partition.base import PartitionAssignment, Partitioner, capacity_bound
+from repro.partition.dbh import hash_vertices, _repair_overflow
+
+__all__ = ["GridPartitioner", "grid_shape"]
+
+
+def grid_shape(k: int) -> tuple[int, int]:
+    """Most-square factorization ``r * c = k`` (``r <= c``)."""
+    r = int(np.sqrt(k))
+    while r > 1 and k % r != 0:
+        r -= 1
+    return r, k // r
+
+
+class GridPartitioner(Partitioner):
+    """2-D hash partitioning baseline (Table 1's stateless ``Θ(|E|)`` row)."""
+
+    def __init__(self, alpha: float = 1.0, salt: int = 0) -> None:
+        self.alpha = alpha
+        self.salt = salt
+        self.name = "Grid"
+
+    def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        self._require_k(graph, k)
+        rows, cols = grid_shape(k)
+        edges = graph.edges
+        u, v = edges[:, 0], edges[:, 1]
+        hu = hash_vertices(u, self.salt)
+        hv = hash_vertices(v, self.salt)
+        row_u = (hu % np.uint64(rows)).astype(np.int64)
+        col_u = ((hu >> np.uint64(16)) % np.uint64(cols)).astype(np.int64)
+        row_v = (hv % np.uint64(rows)).astype(np.int64)
+        col_v = ((hv >> np.uint64(16)) % np.uint64(cols)).astype(np.int64)
+        # The two crossing cells of the candidate sets.
+        cell_a = row_u * cols + col_v
+        cell_b = row_v * cols + col_u
+
+        # Greedy load tie-break between the two candidates, in stream order.
+        parts = np.empty(graph.num_edges, dtype=np.int32)
+        loads = np.zeros(k, dtype=np.int64)
+        a_list = cell_a.tolist()
+        b_list = cell_b.tolist()
+        for e in range(graph.num_edges):
+            a, b = a_list[e], b_list[e]
+            p = a if loads[a] <= loads[b] else b
+            parts[e] = p
+            loads[p] += 1
+
+        capacity = capacity_bound(graph.num_edges, k, self.alpha)
+        parts = _repair_overflow(parts, k, capacity)
+        return PartitionAssignment(graph, k, parts)

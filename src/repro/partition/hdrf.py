@@ -1,0 +1,100 @@
+"""HDRF: High-Degree Replicated First streaming partitioning.
+
+Petroni et al. (CIKM'15); the strongest stateful streaming baseline in
+the paper and the scoring function HEP uses for its streaming phase.
+The partitioner passes once over the edge stream and sends each edge to
+the partition with the highest :func:`~repro.partition.scoring.hdrf_scores`
+value — replicating high-degree vertices first, since they are likely to
+be replicated anyway.
+
+Two degree modes:
+
+* ``exact_degrees=False`` — the original setting: degrees are *partial*
+  counts accumulated while streaming.
+* ``exact_degrees=True`` — degrees known upfront (HEP's streaming phase
+  has them from graph building).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CapacityError
+from repro.graph.edgelist import Graph
+from repro.partition.base import PartitionAssignment, Partitioner, capacity_bound
+from repro.partition.scoring import hdrf_scores
+from repro.partition.state import StreamingState
+
+__all__ = ["HdrfPartitioner", "hdrf_stream"]
+
+
+def hdrf_stream(
+    state: StreamingState,
+    edges: np.ndarray,
+    eids: np.ndarray,
+    parts_out: np.ndarray,
+    lam: float = 1.1,
+    eps: float = 1.0,
+) -> None:
+    """Stream ``edges`` through HDRF scoring, writing assignments in place.
+
+    This is Algorithm 4 of the paper.  It mutates ``state`` and fills
+    ``parts_out[eids[i]]`` for every streamed edge, which lets HEP run it
+    over just the h2h edge file with pre-seeded (informed) state.
+    """
+    observe = state.observe_edge
+    place = state.place
+    for i in range(edges.shape[0]):
+        u = int(edges[i, 0])
+        v = int(edges[i, 1])
+        observe(u, v)
+        scores = hdrf_scores(state, u, v, lam=lam, eps=eps)
+        p = int(np.argmax(scores))
+        if scores[p] == -np.inf:
+            raise CapacityError(
+                "HDRF: all partitions at capacity "
+                f"(capacity={state.capacity}, loads={state.loads.tolist()})"
+            )
+        place(u, v, p)
+        parts_out[eids[i]] = p
+
+
+class HdrfPartitioner(Partitioner):
+    """Standalone HDRF baseline (paper Appendix A: ``lambda = 1.1``)."""
+
+    def __init__(
+        self,
+        lam: float = 1.1,
+        eps: float = 1.0,
+        alpha: float = 1.0,
+        exact_degrees: bool = False,
+        shuffle: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.lam = lam
+        self.eps = eps
+        self.alpha = alpha
+        self.exact_degrees = exact_degrees
+        self.shuffle = shuffle
+        self.seed = seed
+        self.name = "HDRF"
+
+    def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        self._require_k(graph, k)
+        capacity = capacity_bound(graph.num_edges, k, self.alpha)
+        state = StreamingState.fresh(
+            graph, k, capacity, use_exact_degrees=self.exact_degrees
+        )
+        assignment = PartitionAssignment.empty(graph, k)
+        order = np.arange(graph.num_edges)
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(order)
+        hdrf_stream(
+            state,
+            graph.edges[order],
+            order,
+            assignment.parts,
+            lam=self.lam,
+            eps=self.eps,
+        )
+        return assignment

@@ -1,0 +1,16 @@
+"""METIS-family multilevel vertex partitioner (baseline, see kway.py)."""
+
+from repro.partition.metis.coarsen import coarsen
+from repro.partition.metis.initial import grow_bisection
+from repro.partition.metis.kway import MetisPartitioner, partition_vertices_kway
+from repro.partition.metis.level import LevelGraph
+from repro.partition.metis.refine import fm_refine
+
+__all__ = [
+    "MetisPartitioner",
+    "partition_vertices_kway",
+    "LevelGraph",
+    "coarsen",
+    "grow_bisection",
+    "fm_refine",
+]

@@ -1,0 +1,68 @@
+"""Boundary FM refinement of a bisection.
+
+After projecting a coarse bisection to a finer level, boundary vertices
+are moved greedily between the two sides whenever the move reduces the
+cut (or restores balance), Fiduccia–Mattheyses style: each pass considers
+every boundary vertex at most once, applies the best sequence of moves
+found, and passes repeat until no improvement remains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.metis.level import LevelGraph
+
+__all__ = ["fm_refine"]
+
+
+def fm_refine(
+    level: LevelGraph,
+    side: np.ndarray,
+    target_fraction: float,
+    imbalance: float = 0.05,
+    max_passes: int = 4,
+) -> np.ndarray:
+    """Improve the bisection in place; returns the refined side array."""
+    total = level.total_weight
+    target0 = target_fraction * total
+    lo = target0 * (1.0 - imbalance)
+    hi = target0 * (1.0 + imbalance)
+    weight0 = float(level.vertex_weights[side == 0].sum())
+
+    for _ in range(max_passes):
+        improved = False
+        # Gains: moving v to the other side changes the cut by
+        # (internal - external); positive gain = cut shrinks.
+        for v in _boundary_vertices(level, side):
+            sv = side[v]
+            external = internal = 0.0
+            for w, weight in level.adj[v].items():
+                if side[w] == sv:
+                    internal += weight
+                else:
+                    external += weight
+            gain = external - internal
+            vw = float(level.vertex_weights[v])
+            new_weight0 = weight0 + vw if sv == 1 else weight0 - vw
+            balanced = lo <= new_weight0 <= hi
+            out_of_balance = not (lo <= weight0 <= hi)
+            rebalances = abs(new_weight0 - target0) < abs(weight0 - target0)
+            if (gain > 0 and balanced) or (out_of_balance and rebalances):
+                side[v] = 1 - sv
+                weight0 = new_weight0
+                improved = True
+        if not improved:
+            break
+    return side
+
+
+def _boundary_vertices(level: LevelGraph, side: np.ndarray) -> list[int]:
+    boundary = []
+    for v in range(level.num_vertices):
+        sv = side[v]
+        for w in level.adj[v]:
+            if side[w] != sv:
+                boundary.append(v)
+                break
+    return boundary

@@ -1,0 +1,63 @@
+"""Simple hybrid baseline (paper Section 5.4).
+
+To show that HEP's gains come from its *specific* design (NE++ plus
+informed HDRF) and not from hybrid partitioning per se, the paper builds
+the obvious alternative: split the graph at the same ``tau`` threshold,
+run plain NE on ``G_REST`` and *random* streaming on ``G_H2H``.  Figure 9
+normalizes this baseline against HEP; this class is that baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.edgelist import Graph
+from repro.graph.pruned import split_edges
+from repro.partition.base import PartitionAssignment, Partitioner, capacity_bound
+from repro.partition.ne import NePartitioner
+from repro.partition.random_stream import random_stream
+
+__all__ = ["SimpleHybridPartitioner"]
+
+
+class SimpleHybridPartitioner(Partitioner):
+    """NE on the low-degree subgraph + random streaming on h2h edges."""
+
+    def __init__(self, tau: float = 10.0, alpha: float = 1.0, seed: int = 0) -> None:
+        if tau <= 0:
+            raise ConfigurationError(f"tau must be positive, got {tau}")
+        self.tau = tau
+        self.alpha = alpha
+        self.seed = seed
+        self.name = f"NE+Rand-{tau:g}"
+
+    def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        self._require_k(graph, k)
+        split = split_edges(graph, self.tau)
+        h2h_mask = split.h2h_mask
+        rest_eids = np.flatnonzero(~h2h_mask)
+        h2h_eids = np.flatnonzero(h2h_mask)
+
+        parts = np.full(graph.num_edges, -1, dtype=np.int32)
+        loads = np.zeros(k, dtype=np.int64)
+
+        if rest_eids.size:
+            rest_graph = graph.subgraph_edges(~h2h_mask, name=f"{graph.name}-rest")
+            rest_assignment = NePartitioner(seed=self.seed).partition(rest_graph, k)
+            parts[rest_eids] = rest_assignment.parts
+            loads += rest_assignment.partition_sizes()
+
+        if h2h_eids.size:
+            capacity = capacity_bound(graph.num_edges, k, self.alpha)
+            capacity = max(capacity, int(loads.max()) + 1)
+            random_stream(
+                int(h2h_eids.size),
+                h2h_eids,
+                parts,
+                k,
+                capacity,
+                loads=loads,
+                seed=self.seed,
+            )
+        return PartitionAssignment(graph, k, parts)

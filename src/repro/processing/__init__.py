@@ -1,0 +1,14 @@
+"""Distributed graph-processing simulator (Spark/GraphX substitute)."""
+
+from repro.processing.algorithms import bfs, connected_components, pagerank
+from repro.processing.cost import CostModel
+from repro.processing.engine import JobResult, VertexCutEngine
+
+__all__ = [
+    "VertexCutEngine",
+    "JobResult",
+    "CostModel",
+    "pagerank",
+    "bfs",
+    "connected_components",
+]

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import Graph, write_binary_edgelist, write_text_edgelist
+
+
+@pytest.fixture()
+def small_graph_file(tmp_path):
+    g = Graph.from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3), (4, 0), (4, 1)],
+        num_vertices=5,
+    )
+    path = tmp_path / "g.txt"
+    write_text_edgelist(g, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition", "OK"])
+        assert args.k == 32 and args.method == "HEP" and args.tau == 10.0
+
+
+class TestPartitionCommand:
+    def test_partition_text_file(self, small_graph_file, capsys):
+        rc = main(["partition", str(small_graph_file), "--k", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replication factor" in out
+
+    def test_partition_binary_file(self, tmp_path, capsys):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (0, 3)], num_vertices=4)
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(g, path)
+        rc = main(["partition", str(path), "--k", "2", "--method", "DBH"])
+        assert rc == 0
+
+    def test_partition_writes_output(self, small_graph_file, tmp_path, capsys):
+        out_file = tmp_path / "parts.txt"
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--output", str(out_file)]
+        )
+        assert rc == 0
+        parts = np.loadtxt(out_file, dtype=int)
+        assert parts.shape == (8,)
+        assert set(parts.tolist()) <= {0, 1}
+
+    def test_partition_dataset_name(self, capsys):
+        rc = main(["partition", "LJ", "--k", "4", "--method", "DBH"])
+        assert rc == 0
+
+    def test_unknown_graph_errors(self, capsys):
+        rc = main(["partition", "nonexistent-thing", "--k", "2"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_compare(self, small_graph_file, capsys):
+        rc = main(
+            ["compare", str(small_graph_file), "--k", "2",
+             "--partitioners", "DBH", "HDRF"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DBH" in out and "HDRF" in out
+
+    def test_select_tau(self, capsys):
+        rc = main(["select-tau", "LJ", "--budget-kib", "100000", "--k", "4"])
+        assert rc == 0
+        assert "tau=" in capsys.readouterr().out
+
+    def test_datasets(self, capsys):
+        rc = main(["datasets"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("LJ", "OK", "TW", "WDC"):
+            assert name in out
+
+    def test_experiment_unknown(self, capsys):
+        rc = main(["experiment", "figure99"])
+        assert rc == 2
+
+    def test_experiment_table3(self, capsys):
+        rc = main(["experiment", "table3"])
+        assert rc == 0
+        assert "Table 3" in capsys.readouterr().out

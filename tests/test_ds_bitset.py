@@ -1,0 +1,133 @@
+"""Unit and property tests for repro._ds.bitset."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._ds import Bitset
+from repro.errors import ConfigurationError
+
+
+class TestBitsetBasics:
+    def test_empty_on_creation(self):
+        s = Bitset(10)
+        assert s.count() == 0
+        assert len(s) == 0
+        assert 0 not in s
+
+    def test_add_and_contains(self):
+        s = Bitset(10)
+        s.add(3)
+        assert 3 in s
+        assert 2 not in s
+
+    def test_add_idempotent(self):
+        s = Bitset(10)
+        s.add(3)
+        s.add(3)
+        assert s.count() == 1
+
+    def test_discard(self):
+        s = Bitset(10)
+        s.add(4)
+        s.discard(4)
+        assert 4 not in s
+
+    def test_discard_absent_is_noop(self):
+        s = Bitset(10)
+        s.discard(4)
+        s.discard(-1)
+        s.discard(99)
+        assert s.count() == 0
+
+    def test_add_out_of_range_raises(self):
+        s = Bitset(10)
+        with pytest.raises(IndexError):
+            s.add(10)
+        with pytest.raises(IndexError):
+            s.add(-1)
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ConfigurationError):
+            Bitset(-1)
+
+    def test_zero_size_universe(self):
+        s = Bitset(0)
+        assert s.count() == 0
+        assert 0 not in s
+
+    def test_init_iterable(self):
+        s = Bitset(10, init=[1, 3, 5])
+        assert sorted(s) == [1, 3, 5]
+
+    def test_add_many(self):
+        s = Bitset(10)
+        s.add_many(np.array([2, 4, 6]))
+        assert sorted(s) == [2, 4, 6]
+
+    def test_add_many_empty(self):
+        s = Bitset(10)
+        s.add_many([])
+        assert s.count() == 0
+
+    def test_add_many_out_of_range(self):
+        s = Bitset(10)
+        with pytest.raises(IndexError):
+            s.add_many([5, 11])
+
+    def test_to_indices_sorted(self):
+        s = Bitset(10, init=[7, 1, 4])
+        assert s.to_indices().tolist() == [1, 4, 7]
+
+    def test_iter(self):
+        s = Bitset(5, init=[0, 2])
+        assert list(s) == [0, 2]
+
+    def test_clear(self):
+        s = Bitset(5, init=[0, 2])
+        s.clear()
+        assert s.count() == 0
+
+    def test_mask_is_shared(self):
+        s = Bitset(5)
+        s.mask[3] = True
+        assert 3 in s
+
+    def test_from_mask(self):
+        mask = np.array([True, False, True])
+        s = Bitset.from_mask(mask)
+        assert s.size == 3
+        assert sorted(s) == [0, 2]
+
+    def test_from_mask_rejects_non_bool(self):
+        with pytest.raises(ConfigurationError):
+            Bitset.from_mask(np.array([1, 0, 1]))
+
+    def test_nbytes_bitlevel(self):
+        assert Bitset(0).nbytes_bitlevel() == 0
+        assert Bitset(1).nbytes_bitlevel() == 1
+        assert Bitset(8).nbytes_bitlevel() == 1
+        assert Bitset(9).nbytes_bitlevel() == 2
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["add", "discard"]), st.integers(0, 63)),
+        max_size=200,
+    )
+)
+def test_bitset_matches_python_set(ops):
+    """Property: a Bitset behaves exactly like a built-in set."""
+    bitset = Bitset(64)
+    model = set()
+    for op, value in ops:
+        if op == "add":
+            bitset.add(value)
+            model.add(value)
+        else:
+            bitset.discard(value)
+            model.discard(value)
+        assert (value in bitset) == (value in model)
+    assert bitset.count() == len(model)
+    assert sorted(bitset) == sorted(model)

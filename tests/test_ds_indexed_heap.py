@@ -1,0 +1,173 @@
+"""Unit and property tests for repro._ds.indexed_heap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._ds import IndexedMinHeap
+
+
+class TestHeapBasics:
+    def test_empty(self):
+        h = IndexedMinHeap()
+        assert len(h) == 0
+        assert not h
+        with pytest.raises(IndexError):
+            h.pop_min()
+        with pytest.raises(IndexError):
+            h.peek_min()
+
+    def test_push_pop_single(self):
+        h = IndexedMinHeap()
+        h.push(42, priority=7)
+        assert 42 in h
+        assert h.priority(42) == 7
+        assert h.pop_min() == (42, 7)
+        assert 42 not in h
+
+    def test_pop_order(self):
+        h = IndexedMinHeap()
+        for item, prio in [(1, 5), (2, 1), (3, 3), (4, 2), (5, 4)]:
+            h.push(item, prio)
+        popped = [h.pop_min() for _ in range(5)]
+        assert [p for _, p in popped] == [1, 2, 3, 4, 5]
+
+    def test_push_duplicate_raises(self):
+        h = IndexedMinHeap()
+        h.push(1, priority=1)
+        with pytest.raises(ValueError):
+            h.push(1, priority=2)
+
+    def test_update_decrease(self):
+        h = IndexedMinHeap()
+        h.push(1, priority=10)
+        h.push(2, priority=5)
+        h.update(1, priority=0)
+        assert h.pop_min() == (1, 0)
+
+    def test_update_increase(self):
+        h = IndexedMinHeap()
+        h.push(1, priority=1)
+        h.push(2, priority=5)
+        h.update(1, priority=9)
+        assert h.pop_min() == (2, 5)
+
+    def test_update_same_priority_noop(self):
+        h = IndexedMinHeap()
+        h.push(1, priority=3)
+        h.update(1, priority=3)
+        assert h.priority(1) == 3
+
+    def test_update_absent_raises(self):
+        h = IndexedMinHeap()
+        with pytest.raises(KeyError):
+            h.update(1, priority=1)
+
+    def test_decrement_default(self):
+        h = IndexedMinHeap()
+        h.push(9, priority=4)
+        h.decrement(9)
+        assert h.priority(9) == 3
+        h.decrement(9, by=2)
+        assert h.priority(9) == 1
+
+    def test_push_or_update(self):
+        h = IndexedMinHeap()
+        h.push_or_update(1, priority=5)
+        h.push_or_update(1, priority=2)
+        assert h.priority(1) == 2
+
+    def test_remove_middle(self):
+        h = IndexedMinHeap()
+        for item, prio in [(1, 1), (2, 2), (3, 3), (4, 4)]:
+            h.push(item, prio)
+        h.remove(2)
+        assert 2 not in h
+        popped = [h.pop_min()[0] for _ in range(3)]
+        assert popped == [1, 3, 4]
+
+    def test_remove_last(self):
+        h = IndexedMinHeap()
+        h.push(1, priority=1)
+        h.remove(1)
+        assert len(h) == 0
+
+    def test_remove_absent_raises(self):
+        h = IndexedMinHeap()
+        with pytest.raises(KeyError):
+            h.remove(1)
+
+    def test_discard_absent_noop(self):
+        h = IndexedMinHeap()
+        h.discard(1)
+        assert len(h) == 0
+
+    def test_clear(self):
+        h = IndexedMinHeap()
+        h.push(1, priority=1)
+        h.clear()
+        assert not h
+        h.push(1, priority=1)  # reusable after clear
+        assert h.pop_min() == (1, 1)
+
+    def test_ties_all_returned(self):
+        h = IndexedMinHeap()
+        for item in range(10):
+            h.push(item, priority=0)
+        popped = sorted(h.pop_min()[0] for _ in range(10))
+        assert popped == list(range(10))
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["push", "update", "pop", "remove"]),
+            st.integers(0, 20),
+            st.integers(-50, 50),
+        ),
+        max_size=300,
+    )
+)
+def test_heap_matches_reference_model(ops):
+    """Property: heap agrees with a dict-based reference under random ops."""
+    heap = IndexedMinHeap()
+    model: dict[int, int] = {}
+    for op, item, prio in ops:
+        if op == "push":
+            if item in model:
+                with pytest.raises(ValueError):
+                    heap.push(item, prio)
+            else:
+                heap.push(item, prio)
+                model[item] = prio
+        elif op == "update":
+            if item in model:
+                heap.update(item, prio)
+                model[item] = prio
+            else:
+                with pytest.raises(KeyError):
+                    heap.update(item, prio)
+        elif op == "pop":
+            if model:
+                popped_item, popped_prio = heap.pop_min()
+                assert popped_prio == min(model.values())
+                assert model[popped_item] == popped_prio
+                del model[popped_item]
+            else:
+                with pytest.raises(IndexError):
+                    heap.pop_min()
+        else:  # remove
+            if item in model:
+                heap.remove(item)
+                del model[item]
+            else:
+                with pytest.raises(KeyError):
+                    heap.remove(item)
+        heap._check_invariants()
+        assert len(heap) == len(model)
+    # Drain: residual contents must match the model exactly.
+    drained = {}
+    while heap:
+        item, prio = heap.pop_min()
+        drained[item] = prio
+    assert drained == model

@@ -1,0 +1,129 @@
+"""Failure-injection tests: corrupted inputs, hostile parameters, and
+boundary conditions must fail loudly with library exceptions, never
+silently corrupt results."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    GraphFormatError,
+    PartitioningError,
+    ReproError,
+)
+from repro.graph import (
+    Graph,
+    read_binary_edgelist,
+    read_text_edgelist,
+)
+from repro.graph.generators import chung_lu
+from repro.core import HepPartitioner, select_tau
+from repro.partition import HdrfPartitioner, PartitionAssignment
+
+
+class TestCorruptFiles:
+    def test_binary_odd_length(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x01\x02\x03")
+        with pytest.raises(GraphFormatError):
+            read_binary_edgelist(path)
+
+    def test_binary_garbage_is_still_parsed_as_ids(self, tmp_path):
+        # 8 random bytes are a syntactically valid edge; semantic bounds
+        # are enforced by num_vertices.
+        path = tmp_path / "g.bin"
+        path.write_bytes(bytes(range(8)))
+        with pytest.raises(GraphFormatError):
+            read_binary_edgelist(path, num_vertices=2)
+
+    def test_text_with_binary_noise(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_bytes(b"0 1\n\xff\xfe garbage\n")
+        with pytest.raises((GraphFormatError, UnicodeDecodeError)):
+            read_text_edgelist(path)
+
+    def test_text_negative_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 -3\n")
+        with pytest.raises(GraphFormatError):
+            read_text_edgelist(path)
+
+
+class TestHostileParameters:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return chung_lu(100, mean_degree=6, exponent=2.3, seed=17)
+
+    def test_k_larger_than_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], num_vertices=3)
+        # More partitions than edges: valid, some partitions stay empty.
+        a = HepPartitioner(tau=10.0).partition(g, 16)
+        assert a.num_unassigned == 0
+        assert a.partition_sizes().sum() == 2
+
+    def test_k_one_rejected_everywhere(self, graph):
+        for partitioner in (HepPartitioner(), HdrfPartitioner()):
+            with pytest.raises(ConfigurationError):
+                partitioner.partition(graph, 1)
+
+    def test_empty_graph_rejected(self):
+        g = Graph.from_edges(np.empty((0, 2)), num_vertices=5)
+        with pytest.raises(PartitioningError):
+            HdrfPartitioner().partition(g, 2)
+
+    def test_negative_tau(self):
+        with pytest.raises(ConfigurationError):
+            HepPartitioner(tau=-1.0)
+
+    def test_impossible_budget(self, graph):
+        with pytest.raises(ConfigurationError):
+            select_tau(graph, memory_budget_bytes=1, k=4)
+
+    def test_all_errors_are_repro_errors(self):
+        for exc in (ConfigurationError, GraphFormatError, PartitioningError):
+            assert issubclass(exc, ReproError)
+
+
+class TestBoundaryGraphs:
+    def test_single_edge(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        a = HepPartitioner(tau=1.0).partition(g, 2)
+        assert a.num_unassigned == 0
+
+    def test_two_vertices_many_partitions(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        a = HdrfPartitioner().partition(g, 8)
+        assert int((a.partition_sizes() > 0).sum()) == 1
+
+    def test_complete_graph(self):
+        n = 12
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        g = Graph.from_edges(edges, num_vertices=n)
+        for tau in (0.5, 2.0):
+            a = HepPartitioner(tau=tau).partition(g, 4)
+            assert a.num_unassigned == 0
+            assert a.partition_sizes().sum() == g.num_edges
+
+    def test_disconnected_isolated_heavy(self):
+        # A clique plus many isolated vertices: isolated ids must not
+        # perturb metrics or partitioning.
+        clique = [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        g = Graph.from_edges(clique, num_vertices=1000)
+        a = HepPartitioner(tau=2.0).partition(g, 3)
+        assert a.num_unassigned == 0
+        from repro.metrics import replication_factor
+
+        assert 1.0 <= replication_factor(a) <= 3.0
+
+    def test_path_graph_chain(self):
+        edges = [(i, i + 1) for i in range(99)]
+        g = Graph.from_edges(edges, num_vertices=100)
+        a = HepPartitioner(tau=100.0).partition(g, 4)
+        assert a.num_unassigned == 0
+        # A path partitions into near-contiguous runs: RF close to 1.
+        assert a.replication_factor() < 1.2
+
+    def test_assignment_rejects_k_zero(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        with pytest.raises(ConfigurationError):
+            PartitionAssignment(g, 0, np.array([0], dtype=np.int32))

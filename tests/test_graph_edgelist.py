@@ -1,0 +1,184 @@
+"""Tests for the Graph container and edge-list IO."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    Graph,
+    canonical_edges,
+    read_binary_edgelist,
+    read_text_edgelist,
+    write_binary_edgelist,
+    write_text_edgelist,
+)
+
+
+class TestCanonicalEdges:
+    def test_removes_self_loops(self):
+        out = canonical_edges(np.array([[0, 0], [0, 1], [2, 2]]))
+        assert out.tolist() == [[0, 1]]
+
+    def test_removes_duplicates_keeps_first_orientation(self):
+        out = canonical_edges(np.array([[1, 0], [0, 1], [1, 0]]))
+        assert out.tolist() == [[1, 0]]
+
+    def test_preserves_stream_order(self):
+        out = canonical_edges(np.array([[5, 2], [1, 3], [2, 5], [0, 4]]))
+        assert out.tolist() == [[5, 2], [1, 3], [0, 4]]
+
+    def test_empty(self):
+        out = canonical_edges(np.empty((0, 2), dtype=np.int64))
+        assert out.shape == (0, 2)
+
+    def test_all_self_loops(self):
+        out = canonical_edges(np.array([[1, 1], [2, 2]]))
+        assert out.shape == (0, 2)
+
+
+class TestGraph:
+    def test_basic_properties(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)], num_vertices=4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+        assert g.degrees.tolist() == [2, 2, 2, 0]
+        assert g.mean_degree == pytest.approx(6 / 4)
+        assert g.num_covered_vertices == 3
+
+    def test_infers_num_vertices(self):
+        g = Graph.from_edges([(0, 7)])
+        assert g.num_vertices == 8
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges(np.zeros((3, 3)))
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([(0, -1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            Graph(np.array([[0, 5]]), num_vertices=3)
+
+    def test_edges_read_only(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            g.edges[0, 0] = 5
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(np.empty((0, 2)), num_vertices=0)
+        assert g.num_edges == 0
+        assert g.mean_degree == 0.0
+
+    def test_subgraph_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)], num_vertices=4)
+        sub = g.subgraph_edges(np.array([True, False, True]))
+        assert sub.edges.tolist() == [[0, 1], [2, 3]]
+        assert sub.num_vertices == 4
+
+    def test_binary_size(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.binary_size_bytes() == 16
+
+    def test_degrees_cached_and_frozen(self):
+        g = Graph.from_edges([(0, 1)])
+        d1 = g.degrees
+        assert d1 is g.degrees
+        with pytest.raises(ValueError):
+            d1[0] = 99
+
+
+class TestBinaryIO:
+    def test_roundtrip(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (3, 2), (1, 2)], num_vertices=5)
+        path = tmp_path / "g.bin"
+        nbytes = write_binary_edgelist(g, path)
+        assert nbytes == 3 * 8
+        back = read_binary_edgelist(path, num_vertices=5)
+        assert back.edges.tolist() == g.edges.tolist()
+
+    def test_rejects_truncated_file(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 7)
+        with pytest.raises(GraphFormatError):
+            read_binary_edgelist(path)
+
+    def test_little_endian_layout(self, tmp_path):
+        g = Graph.from_edges([(1, 258)])
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(g, path)
+        raw = path.read_bytes()
+        assert raw == (1).to_bytes(4, "little") + (258).to_bytes(4, "little")
+
+
+class TestTextIO:
+    def test_roundtrip(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (2, 1)], num_vertices=3)
+        path = tmp_path / "g.txt"
+        write_text_edgelist(g, path)
+        back = read_text_edgelist(path, num_vertices=3)
+        assert back.edges.tolist() == g.edges.tolist()
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# mid\n1 2\n")
+        g = read_text_edgelist(path)
+        assert g.num_edges == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_text_edgelist(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_text_edgelist(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("")
+        g = read_text_edgelist(path, num_vertices=3)
+        assert g.num_edges == 0
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=150
+    )
+)
+def test_canonicalization_properties(edges):
+    """Property: canonical edges are loop-free, unique, and a subset."""
+    raw = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    out = canonical_edges(raw)
+    # No self-loops.
+    assert (out[:, 0] != out[:, 1]).all()
+    # No duplicate undirected edges.
+    keys = {(min(u, v), max(u, v)) for u, v in out.tolist()}
+    assert len(keys) == out.shape[0]
+    # Every output edge occurs in the input.
+    raw_set = {(u, v) for u, v in raw.tolist()}
+    assert all((u, v) in raw_set for u, v in out.tolist())
+    # Every non-loop input edge is represented.
+    input_keys = {(min(u, v), max(u, v)) for u, v in raw.tolist() if u != v}
+    assert keys == input_keys
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 40)),
+        min_size=1,
+        max_size=80,
+    ).filter(lambda es: any(u != v for u, v in es))
+)
+def test_binary_roundtrip_property(edges, tmp_path_factory):
+    g = Graph.from_edges(np.asarray(edges))
+    path = tmp_path_factory.mktemp("bin") / "g.bin"
+    write_binary_edgelist(g, path)
+    back = read_binary_edgelist(path, num_vertices=g.num_vertices)
+    assert np.array_equal(back.edges, g.edges)

@@ -1,0 +1,150 @@
+"""Tests for synthetic graph generators and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import describe
+from repro.graph.datasets import DATASETS, available, env_scale, load
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu,
+    community_web,
+    erdos_renyi,
+    grid2d,
+    ring,
+    rmat,
+    star,
+)
+
+
+class TestGeneratorsBasic:
+    def test_erdos_renyi_size(self):
+        g = erdos_renyi(100, 300, seed=1)
+        assert g.num_vertices == 100
+        assert 200 <= g.num_edges <= 300
+
+    def test_erdos_renyi_deterministic(self):
+        a = erdos_renyi(50, 100, seed=7)
+        b = erdos_renyi(50, 100, seed=7)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_erdos_renyi_seed_changes_graph(self):
+        a = erdos_renyi(50, 100, seed=7)
+        b = erdos_renyi(50, 100, seed=8)
+        assert not np.array_equal(a.edges, b.edges)
+
+    def test_erdos_renyi_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(1, 5)
+
+    def test_chung_lu_power_law_skew(self):
+        g = chung_lu(2000, mean_degree=10, exponent=2.2, seed=3)
+        deg = g.degrees
+        # Heavy tail: the max degree dwarfs the median.
+        assert deg.max() > 10 * np.median(deg[deg > 0])
+
+    def test_chung_lu_mean_degree_near_target(self):
+        g = chung_lu(2000, mean_degree=10, seed=3)
+        assert 4 <= g.mean_degree <= 10.5
+
+    def test_chung_lu_validation(self):
+        with pytest.raises(ConfigurationError):
+            chung_lu(10, mean_degree=0)
+        with pytest.raises(ConfigurationError):
+            chung_lu(10, mean_degree=4, exponent=1.0)
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert(500, attach=3, seed=2)
+        assert g.num_vertices == 500
+        # Each new vertex adds `attach` edges.
+        assert g.num_edges >= (500 - 4) * 3
+        # Early vertices accumulate high degree.
+        assert g.degrees[:10].mean() > g.degrees[-100:].mean()
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert(3, attach=3)
+
+    def test_rmat_shape(self):
+        g = rmat(scale=9, edge_factor=8, seed=4)
+        assert g.num_vertices == 512
+        assert g.num_edges > 512 * 4
+        deg = g.degrees
+        assert deg.max() > 8 * max(1.0, np.median(deg[deg > 0]))
+
+    def test_rmat_validation(self):
+        with pytest.raises(ConfigurationError):
+            rmat(scale=1)
+        with pytest.raises(ConfigurationError):
+            rmat(scale=4, a=0.6, b=0.3, c=0.2)
+
+    def test_star(self):
+        g = star(10)
+        assert g.num_edges == 9
+        assert g.degrees[0] == 9
+        assert (g.degrees[1:] == 1).all()
+
+    def test_grid2d(self):
+        g = grid2d(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 4 + 3 * 5
+        assert g.degrees.max() == 4
+
+    def test_ring(self):
+        g = ring(7)
+        assert g.num_edges == 7
+        assert (g.degrees == 2).all()
+
+    def test_ring_validation(self):
+        with pytest.raises(ConfigurationError):
+            ring(2)
+
+    def test_community_web_locality(self):
+        g = community_web(8, 100, intra_mean_degree=8, inter_fraction=0.05, seed=5)
+        assert g.num_vertices == 800
+        assert g.num_edges > 1500
+
+    def test_community_web_deterministic(self):
+        a = community_web(4, 50, seed=5)
+        b = community_web(4, 50, seed=5)
+        assert np.array_equal(a.edges, b.edges)
+
+
+class TestDatasets:
+    def test_all_registered_load(self):
+        for name in available():
+            g = load(name, scale=0.25 if name not in ("WI",) else 1.0)
+            assert g.num_edges > 100, name
+            assert g.name == name
+
+    def test_load_case_insensitive(self):
+        g = load("lj", scale=0.5)
+        assert g.name == "LJ"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            load("NOPE")
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            load("LJ", scale=0)
+
+    def test_registry_metadata(self):
+        spec = DATASETS["TW"]
+        assert spec.kind == "Social"
+        assert "1.5 B" in spec.paper_edges
+
+    def test_social_graphs_are_skewed(self):
+        g = load("TW", scale=0.5)
+        stats = describe(g)
+        assert stats.skew > 5.0
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale() == 1.0
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert env_scale() == 2.5
+        monkeypatch.setenv("REPRO_SCALE", "abc")
+        with pytest.raises(ConfigurationError):
+            env_scale()

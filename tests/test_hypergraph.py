@@ -1,0 +1,219 @@
+"""Tests for the hypergraph extension (container, generators, metrics,
+hybrid and streaming partitioners)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, GraphFormatError
+from repro.hypergraph import (
+    HybridHypergraphPartitioner,
+    Hypergraph,
+    MinMaxStreamingHypergraphPartitioner,
+    assert_valid_hyper,
+    clustered_hypergraph,
+    hyper_balance,
+    hyper_cover_matrix,
+    hyper_replication_factor,
+    powerlaw_hypergraph,
+    split_hyperedges,
+)
+
+
+def small_hg() -> Hypergraph:
+    return Hypergraph.from_hyperedges(
+        [(0, 1, 2), (2, 3), (3, 4, 5), (0, 5)], num_vertices=6
+    )
+
+
+class TestContainer:
+    def test_shape(self):
+        hg = small_hg()
+        assert hg.num_hyperedges == 4
+        assert hg.num_pins == 10
+        assert hg.num_vertices == 6
+
+    def test_hyperedge_view(self):
+        hg = small_hg()
+        assert hg.hyperedge(0).tolist() == [0, 1, 2]
+        assert hg.hyperedge(3).tolist() == [0, 5]
+
+    def test_pin_counts(self):
+        assert small_hg().pin_counts().tolist() == [3, 2, 3, 2]
+
+    def test_vertex_degrees(self):
+        assert small_hg().vertex_degrees.tolist() == [2, 1, 2, 2, 1, 2]
+
+    def test_incident_hyperedges(self):
+        hg = small_hg()
+        assert sorted(hg.incident_hyperedges(2).tolist()) == [0, 1]
+        assert sorted(hg.incident_hyperedges(5).tolist()) == [2, 3]
+
+    def test_duplicate_pins_dropped(self):
+        hg = Hypergraph.from_hyperedges([(1, 1, 2)], num_vertices=3)
+        assert hg.hyperedge(0).tolist() == [1, 2]
+
+    def test_empty_hyperedge_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Hypergraph.from_hyperedges([()], num_vertices=2)
+
+    def test_pin_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            Hypergraph.from_hyperedges([(0, 9)], num_vertices=3)
+
+    def test_bad_eptr(self):
+        with pytest.raises(GraphFormatError):
+            Hypergraph(np.array([1, 2]), np.array([0, 1]), 2)
+
+
+class TestGenerators:
+    def test_powerlaw_shape(self):
+        hg = powerlaw_hypergraph(200, 200, mean_pins=4, seed=1)
+        assert hg.num_hyperedges == 200
+        assert (hg.pin_counts() >= 2).all()
+        deg = hg.vertex_degrees
+        assert deg.max() > 4 * max(np.median(deg[deg > 0]), 1)
+
+    def test_powerlaw_deterministic(self):
+        a = powerlaw_hypergraph(100, 50, seed=2)
+        b = powerlaw_hypergraph(100, 50, seed=2)
+        assert np.array_equal(a.pins, b.pins)
+
+    def test_powerlaw_validation(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_hypergraph(1, 10)
+        with pytest.raises(ConfigurationError):
+            powerlaw_hypergraph(10, 10, mean_pins=1.0)
+
+    def test_clustered_locality(self):
+        hg = clustered_hypergraph(6, 30, 40, seed=3)
+        assert hg.num_vertices == 180
+        # Most hyperedges stay within one 30-vertex cluster.
+        within = 0
+        for e in range(hg.num_hyperedges):
+            pins = hg.hyperedge(e)
+            within += int(pins.max() // 30 == pins.min() // 30)
+        assert within > 0.8 * hg.num_hyperedges
+
+
+class TestMetrics:
+    def test_cover_matrix(self):
+        hg = small_hg()
+        parts = np.array([0, 0, 1, 1], dtype=np.int32)
+        cover = hyper_cover_matrix(hg, parts, 2)
+        assert cover[0].tolist() == [True, True, True, True, False, False]
+        assert cover[1].tolist() == [True, False, False, True, True, True]
+
+    def test_replication_factor(self):
+        hg = small_hg()
+        parts = np.array([0, 0, 1, 1], dtype=np.int32)
+        # covers: p0 {0,1,2,3}, p1 {0,3,4,5} -> 8 replicas / 6 vertices
+        assert hyper_replication_factor(hg, parts, 2) == pytest.approx(8 / 6)
+
+    def test_single_partition_rf_one(self):
+        hg = small_hg()
+        parts = np.zeros(4, dtype=np.int32)
+        assert hyper_replication_factor(hg, parts, 1) == 1.0
+
+    def test_balance(self):
+        hg = small_hg()
+        assert hyper_balance(hg, np.array([0, 0, 0, 1]), 2) == pytest.approx(1.5)
+
+    def test_assert_valid_detects_unassigned(self):
+        hg = small_hg()
+        with pytest.raises(Exception):
+            assert_valid_hyper(hg, np.array([0, 0, 0, -1]), 2)
+
+    def test_assert_valid_detects_overflow(self):
+        hg = small_hg()
+        with pytest.raises(Exception):
+            assert_valid_hyper(hg, np.array([0, 0, 0, 0]), 2, alpha=1.0)
+
+
+class TestSplit:
+    def test_all_high_streaming(self):
+        # Vertex degrees: hub vertices 0,1 appear in many hyperedges.
+        hes = [(0, 1)] + [(0, i) for i in range(2, 8)] + [(1, i) for i in range(2, 8)]
+        hg = Hypergraph.from_hyperedges(hes, num_vertices=8)
+        high, streaming = split_hyperedges(hg, tau=1.5)
+        assert high[0] and high[1]
+        assert streaming[0]          # (0,1): both pins high
+        assert not streaming[1:].any()
+
+    def test_tau_monotone(self):
+        hg = powerlaw_hypergraph(200, 300, seed=4)
+        shares = [
+            float(split_hyperedges(hg, tau)[1].mean()) for tau in (0.5, 1.0, 2.0, 8.0)
+        ]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_bad_tau(self):
+        with pytest.raises(ConfigurationError):
+            split_hyperedges(small_hg(), 0)
+
+
+class TestPartitioners:
+    @pytest.fixture(scope="class")
+    def hg(self):
+        return powerlaw_hypergraph(300, 400, mean_pins=4, seed=5)
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_minmax_valid(self, hg, k):
+        parts = MinMaxStreamingHypergraphPartitioner().partition(hg, k)
+        assert_valid_hyper(hg, parts, k, alpha=1.3)
+
+    @pytest.mark.parametrize("tau", [0.5, 1.0, 10.0])
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_hybrid_valid(self, hg, tau, k):
+        parts = HybridHypergraphPartitioner(tau=tau).partition(hg, k)
+        assert_valid_hyper(hg, parts, k, alpha=1.5)
+
+    def test_hybrid_beats_streaming_on_clustered(self):
+        """The HEP thesis lifted to hypergraphs: expansion exploits
+        locality that streaming cannot see."""
+        hg = clustered_hypergraph(8, 40, 60, crossover=0.03, seed=6)
+        k = 8
+        rf_hybrid = hyper_replication_factor(
+            hg, HybridHypergraphPartitioner(tau=10.0).partition(hg, k), k
+        )
+        rf_stream = hyper_replication_factor(
+            hg, MinMaxStreamingHypergraphPartitioner().partition(hg, k), k
+        )
+        assert rf_hybrid < rf_stream
+
+    def test_streaming_share_recorded(self, hg):
+        p = HybridHypergraphPartitioner(tau=0.5)
+        p.partition(hg, 4)
+        assert p.last_streaming_share is not None
+        assert 0.0 <= p.last_streaming_share <= 1.0
+
+    def test_rejects_k1(self, hg):
+        with pytest.raises(ConfigurationError):
+            HybridHypergraphPartitioner().partition(hg, 1)
+        with pytest.raises(ConfigurationError):
+            MinMaxStreamingHypergraphPartitioner().partition(hg, 1)
+
+    def test_deterministic(self, hg):
+        a = HybridHypergraphPartitioner(tau=1.0).partition(hg, 4)
+        b = HybridHypergraphPartitioner(tau=1.0).partition(hg, 4)
+        assert np.array_equal(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 30),
+    m=st.integers(2, 40),
+    k=st.sampled_from([2, 3, 4]),
+    tau=st.sampled_from([0.5, 1.0, 5.0]),
+    seed=st.integers(0, 4),
+)
+def test_hybrid_hypergraph_property(n, m, k, tau, seed):
+    """Property: the hybrid hypergraph partitioner always assigns every
+    hyperedge exactly once within range."""
+    hg = powerlaw_hypergraph(n, m, mean_pins=3, seed=seed)
+    parts = HybridHypergraphPartitioner(tau=tau).partition(hg, k)
+    assert parts.shape == (hg.num_hyperedges,)
+    assert (parts >= 0).all() and (parts < k).all()
+    rf = hyper_replication_factor(hg, parts, k)
+    assert 1.0 <= rf <= k

@@ -1,0 +1,168 @@
+"""Tests for the paging simulator: LRU semantics, inclusion property,
+trace construction, and the Table 6 blow-up shape."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import chung_lu
+from repro.memsim import (
+    PAGE_BYTES,
+    LruPageCache,
+    build_page_trace,
+    replay_trace,
+    run_paged_ne_plus_plus,
+)
+from repro.core.ne_plus_plus import run_ne_plus_plus
+
+
+class TestLruCache:
+    def test_cold_miss_then_hit(self):
+        c = LruPageCache(2)
+        assert not c.access(1)
+        assert c.access(1)
+        assert c.faults == 1 and c.hits == 1
+
+    def test_eviction_order(self):
+        c = LruPageCache(2)
+        c.access(1)
+        c.access(2)
+        c.access(1)      # 1 becomes most recent
+        c.access(3)      # evicts 2
+        assert c.access(1)
+        assert not c.access(2)
+
+    def test_capacity_respected(self):
+        c = LruPageCache(3)
+        for p in range(10):
+            c.access(p)
+        assert c.resident_pages == 3
+
+    def test_access_range(self):
+        c = LruPageCache(10)
+        assert c.access_range(0, 4) == 5
+        assert c.access_range(0, 4) == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LruPageCache(0)
+
+    def test_total_accesses(self):
+        c = LruPageCache(1)
+        c.access(1)
+        c.access(1)
+        c.access(2)
+        assert c.total_accesses == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=st.lists(st.integers(0, 20), max_size=300),
+    small=st.integers(1, 8),
+    extra=st.integers(1, 8),
+)
+def test_lru_inclusion_property(trace, small, extra):
+    """LRU is a stack algorithm: a larger cache never faults more."""
+    c_small = LruPageCache(small)
+    c_large = LruPageCache(small + extra)
+    for page in trace:
+        c_small.access(page)
+        c_large.access(page)
+    assert c_large.faults <= c_small.faults
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=st.lists(st.integers(0, 50), min_size=1, max_size=200))
+def test_lru_matches_reference_simulation(trace):
+    """Cross-check against a list-based reference LRU."""
+    cache = LruPageCache(4)
+    reference: list[int] = []
+    expected_faults = 0
+    for page in trace:
+        if page in reference:
+            reference.remove(page)
+            reference.append(page)
+        else:
+            expected_faults += 1
+            if len(reference) >= 4:
+                reference.pop(0)
+            reference.append(page)
+        cache.access(page)
+    assert cache.faults == expected_faults
+
+
+class TestPageTrace:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return chung_lu(400, mean_degree=10, exponent=2.3, seed=77)
+
+    def test_trace_covers_walked_vertices(self, graph):
+        walks: list[int] = []
+        run_ne_plus_plus(graph, 4, trace_walk=walks.append)
+        trace = build_page_trace(graph, walks, tau=float("inf"))
+        assert trace.num_accesses >= len(walks)
+        assert trace.working_set_pages() <= trace.total_pages
+
+    def test_address_space_matches_csr(self, graph):
+        trace = build_page_trace(graph, [0, 1], tau=float("inf"))
+        expected = 4 * graph.num_vertices * 4 + 2 * graph.num_edges * 4
+        assert trace.address_space_bytes == expected
+
+    def test_pruned_trace_smaller_address_space(self, graph):
+        full = build_page_trace(graph, [0], tau=float("inf"))
+        pruned = build_page_trace(graph, [0], tau=1.0)
+        assert pruned.address_space_bytes < full.address_space_bytes
+
+    def test_ranges_in_bounds(self, graph):
+        walks: list[int] = []
+        run_ne_plus_plus(graph, 4, trace_walk=walks.append)
+        trace = build_page_trace(graph, walks, tau=float("inf"))
+        for first, last in trace.ranges:
+            assert 0 <= first <= last < trace.total_pages
+
+
+class TestPagedNePlusPlus:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return chung_lu(600, mean_degree=12, exponent=2.2, seed=78)
+
+    def test_generous_memory_no_capacity_faults(self, graph):
+        result = run_paged_ne_plus_plus(graph, 4, memory_limit_bytes=1 << 26)
+        # With everything resident, faults equal the cold working set.
+        assert result.page_faults == result.working_set_pages
+
+    def test_fault_blowup_as_memory_shrinks(self, graph):
+        """The Table 6 shape: faults and runtime increase monotonically as
+        the limit shrinks, exploding below the working set."""
+        working_bytes = (
+            run_paged_ne_plus_plus(graph, 4, 1 << 26).working_set_pages * PAGE_BYTES
+        )
+        limits = [
+            int(working_bytes * f) for f in (1.2, 0.8, 0.5, 0.3, 0.15)
+        ]
+        faults = [
+            run_paged_ne_plus_plus(graph, 4, max(lim, PAGE_BYTES)).page_faults
+            for lim in limits
+        ]
+        assert faults == sorted(faults)
+        assert faults[-1] > 3 * faults[0]
+
+    def test_runtime_model_increases_with_faults(self, graph):
+        big = run_paged_ne_plus_plus(graph, 4, 1 << 26)
+        small = run_paged_ne_plus_plus(
+            graph, 4, max(big.working_set_pages * PAGE_BYTES // 5, PAGE_BYTES)
+        )
+        assert small.page_faults > big.page_faults
+        penalty_delta = (small.page_faults - big.page_faults) * 300e-6
+        assert small.modeled_runtime_seconds >= penalty_delta
+
+    def test_rejects_sub_page_limit(self, graph):
+        with pytest.raises(ConfigurationError):
+            run_paged_ne_plus_plus(graph, 4, memory_limit_bytes=100)
+
+    def test_thrashing_ratio(self, graph):
+        tight = run_paged_ne_plus_plus(graph, 4, PAGE_BYTES * 8)
+        roomy = run_paged_ne_plus_plus(graph, 4, 1 << 26)
+        assert tight.thrashing_ratio > roomy.thrashing_ratio

@@ -1,0 +1,130 @@
+"""Cross-validation of NE++ against NE — the paper's central equivalence.
+
+Section 3.2 claims NE++ achieves "the same partitioning quality" as NE
+while being faster and smaller.  These tests pin the quality equivalence
+on several graph classes, and pin the structural relationships between
+the two implementations (identical capacity accounting, identical edge
+coverage) that make the comparison meaningful.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ne_plus_plus import NePlusPlusPartitioner, run_ne_plus_plus
+from repro.graph import Graph
+from repro.graph.generators import (
+    barabasi_albert,
+    chung_lu,
+    community_web,
+    erdos_renyi,
+    grid2d,
+    rmat,
+)
+from repro.metrics import replication_factor
+from repro.partition.ne import NePartitioner
+
+WORKLOADS = {
+    "powerlaw": lambda: chung_lu(600, mean_degree=10, exponent=2.2, seed=1),
+    "web": lambda: community_web(8, 70, intra_mean_degree=8, seed=2),
+    "rmat": lambda: rmat(scale=9, edge_factor=8, seed=3),
+    "ba": lambda: barabasi_albert(500, attach=4, seed=4),
+    "mesh": lambda: grid2d(22, 22),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS), ids=str)
+@pytest.mark.parametrize("k", [4, 16])
+def test_quality_parity(workload, k):
+    """NE++ reaches NE's quality on every graph class (seeding differs,
+    so exact equality is not expected; on RMAT NE++ is clearly better)."""
+    graph = WORKLOADS[workload]()
+    rf_ne = replication_factor(NePartitioner().partition(graph, k))
+    rf_nepp = replication_factor(NePlusPlusPartitioner().partition(graph, k))
+    # The paper's claim is one-directional: NE++ reaches NE's quality.
+    # NE++ being *better* (it is, on RMAT) is fine; only catastrophic
+    # divergence in either direction is a bug.
+    assert rf_nepp <= rf_ne * 1.25, (workload, k, rf_ne, rf_nepp)
+    assert rf_ne <= rf_nepp * 2.0, (workload, k, rf_ne, rf_nepp)
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS), ids=str)
+def test_both_cover_all_edges(workload):
+    graph = WORKLOADS[workload]()
+    for partitioner in (NePartitioner(), NePlusPlusPartitioner()):
+        assignment = partitioner.partition(graph, 8)
+        assert assignment.num_unassigned == 0
+        assert assignment.partition_sizes().sum() == graph.num_edges
+
+
+def test_same_capacity_accounting():
+    """Both use ceil(|E|/k) for the unpruned case; loads never exceed it
+    except through documented spill-over."""
+    graph = chung_lu(400, mean_degree=8, exponent=2.3, seed=5)
+    k = 8
+    cap = -(-graph.num_edges // k)
+    ne = NePartitioner().partition(graph, k)
+    nepp = NePlusPlusPartitioner().partition(graph, k)
+    for assignment in (ne, nepp):
+        sizes = assignment.partition_sizes()
+        # Everything except possible single-step spill stays below cap.
+        assert int((sizes > cap * 1.3).sum()) == 0
+
+
+def test_nepp_degree_histories_mirror_ne():
+    """Figure 5's phenomenon holds identically in both implementations."""
+    graph = chung_lu(500, mean_degree=10, exponent=2.2, seed=6)
+    ne = NePartitioner(record_history=True)
+    ne.partition(graph, 8)
+    nepp_result = run_ne_plus_plus(graph, 8, record_degrees=True)
+    mean = graph.mean_degree
+    ne_gap = ne.history.normalized_secondary_degree(mean) - (
+        ne.history.normalized_core_degree(mean)
+    )
+    nepp_core = np.mean(nepp_result.stats.core_degrees) / mean
+    nepp_sec = np.mean(nepp_result.stats.secondary_end_degrees) / mean
+    assert ne_gap > 0
+    assert nepp_sec - nepp_core > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(10, 50),
+    m=st.integers(15, 150),
+    k=st.sampled_from([2, 4, 8]),
+    seed=st.integers(0, 5),
+)
+def test_parity_property_random_graphs(n, m, k, seed):
+    """Property: on arbitrary random graphs, NE++ quality is never far
+    from NE quality in either direction."""
+    g = erdos_renyi(n, m, seed=seed)
+    if g.num_edges < k * 2:
+        return
+    rf_ne = replication_factor(NePartitioner(seed=seed).partition(g, k))
+    rf_nepp = replication_factor(NePlusPlusPartitioner().partition(g, k))
+    assert rf_nepp <= rf_ne * 1.6
+    assert rf_ne <= rf_nepp * 1.6
+
+
+def test_pruned_phase_subset_of_unpruned_assignment():
+    """With pruning, NE++ assigns exactly the complement of the h2h set —
+    and that set matches an independent recomputation."""
+    from repro.graph.pruned import split_edges
+
+    graph = chung_lu(400, mean_degree=12, exponent=2.1, seed=7)
+    for tau in (0.5, 1.5, 4.0):
+        result = run_ne_plus_plus(graph, 4, tau=tau)
+        split = split_edges(graph, tau)
+        assigned = result.parts >= 0
+        assert np.array_equal(assigned, ~split.h2h_mask)
+
+
+def test_deterministic_across_runs_and_instances():
+    graph = Graph.from_edges(
+        erdos_renyi(60, 150, seed=8).edges, num_vertices=60
+    )
+    results = [
+        NePlusPlusPartitioner().partition(graph, 4).parts for _ in range(3)
+    ]
+    assert all(np.array_equal(results[0], r) for r in results[1:])

@@ -1,0 +1,195 @@
+"""Tests for the partitioner framework (base, state, scoring)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import Graph
+from repro.partition import PartitionAssignment, StreamingState, capacity_bound
+from repro.partition.scoring import greedy_choose, hdrf_scores
+
+
+def triangle() -> Graph:
+    return Graph.from_edges([(0, 1), (1, 2), (2, 0)], num_vertices=3)
+
+
+class TestCapacityBound:
+    def test_exact_division(self):
+        assert capacity_bound(100, 4) == 25
+
+    def test_rounds_up(self):
+        assert capacity_bound(101, 4) == 26
+
+    def test_alpha_scales(self):
+        assert capacity_bound(100, 4, alpha=1.1) == 28
+
+    def test_feasibility(self):
+        # k * bound >= m always, so a balanced assignment exists.
+        for m in (1, 7, 99, 1000):
+            for k in (2, 3, 7, 32):
+                assert k * capacity_bound(m, k) >= m
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            capacity_bound(10, 0)
+        with pytest.raises(ConfigurationError):
+            capacity_bound(10, 2, alpha=0.5)
+
+
+class TestPartitionAssignment:
+    def test_empty_starts_unassigned(self):
+        a = PartitionAssignment.empty(triangle(), 2)
+        assert a.num_unassigned == 3
+
+    def test_partition_sizes(self):
+        a = PartitionAssignment(triangle(), 2, np.array([0, 0, 1]))
+        assert a.partition_sizes().tolist() == [2, 1]
+
+    def test_partition_edges(self):
+        a = PartitionAssignment(triangle(), 2, np.array([0, 1, 0]))
+        assert a.partition_edges(0).tolist() == [0, 2]
+
+    def test_cover_matrix(self):
+        a = PartitionAssignment(triangle(), 2, np.array([0, 1, 1]))
+        cover = a.cover_matrix()
+        # p0 has edge (0,1): covers 0,1. p1 has (1,2),(2,0): covers all.
+        assert cover[0].tolist() == [True, True, False]
+        assert cover[1].tolist() == [True, True, True]
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            PartitionAssignment(triangle(), 2, np.array([0, 1]))
+
+    def test_replication_factor_convenience(self):
+        a = PartitionAssignment(triangle(), 2, np.array([0, 1, 1]))
+        assert a.replication_factor() == pytest.approx(5 / 3)
+
+
+class TestStreamingState:
+    def test_place_updates(self):
+        s = StreamingState(4, k=2, capacity=10)
+        s.place(0, 1, 1)
+        assert s.loads.tolist() == [0, 1]
+        assert s.replicas[1, 0] and s.replicas[1, 1]
+        assert not s.replicas[0, 0]
+
+    def test_partial_degrees(self):
+        g = triangle()
+        s = StreamingState.fresh(g, 2, capacity=10, use_exact_degrees=False)
+        assert s.degrees.sum() == 0
+        s.observe_edge(0, 1)
+        assert s.degrees.tolist() == [1, 1, 0]
+
+    def test_exact_degrees_not_mutated_by_observe(self):
+        g = triangle()
+        s = StreamingState.fresh(g, 2, capacity=10, use_exact_degrees=True)
+        s.observe_edge(0, 1)
+        assert s.degrees.tolist() == [2, 2, 2]
+
+    def test_open_mask(self):
+        s = StreamingState(2, k=2, capacity=1)
+        s.place(0, 1, 0)
+        assert s.open_mask().tolist() == [False, True]
+
+    def test_informed_seeding(self):
+        g = triangle()
+        replicas = np.array([[True, True, False], [False, False, True]])
+        s = StreamingState.informed(g, 2, 10, replicas, np.array([2, 1]))
+        assert s.replicas[0, 0]
+        assert s.loads.tolist() == [2, 1]
+        assert s.degrees.tolist() == [2, 2, 2]
+
+    def test_informed_shape_validation(self):
+        g = triangle()
+        with pytest.raises(ConfigurationError):
+            StreamingState.informed(g, 2, 10, np.zeros((3, 3), bool), np.zeros(2))
+        with pytest.raises(ConfigurationError):
+            StreamingState.informed(g, 2, 10, np.zeros((2, 3), bool), np.zeros(3))
+
+
+class TestHdrfScore:
+    def test_prefers_partition_with_both_replicas(self):
+        s = StreamingState(4, k=3, capacity=100, exact_degrees=np.array([2, 2, 2, 2]))
+        s.replicas[1, 0] = True
+        s.replicas[1, 1] = True
+        s.replicas[2, 0] = True
+        scores = hdrf_scores(s, 0, 1)
+        assert np.argmax(scores) == 1
+
+    def test_degree_term_prefers_replicating_high_degree(self):
+        # Partition 0 holds the low-degree endpoint, partition 1 the
+        # high-degree one.  HDRF prefers to cut through the high-degree
+        # vertex, i.e. place the edge where the LOW-degree vertex lives.
+        s = StreamingState(2, k=2, capacity=100, exact_degrees=np.array([100, 2]))
+        s.replicas[0, 1] = True   # p0 has low-degree v=1
+        s.replicas[1, 0] = True   # p1 has high-degree v=0
+        scores = hdrf_scores(s, 0, 1)
+        assert scores[0] > scores[1]
+
+    def test_balance_term_breaks_ties(self):
+        s = StreamingState(4, k=2, capacity=100, exact_degrees=np.ones(4, dtype=int))
+        s.loads[0] = 50
+        scores = hdrf_scores(s, 0, 1)
+        assert scores[1] > scores[0]
+
+    def test_full_partitions_masked(self):
+        s = StreamingState(4, k=2, capacity=1, exact_degrees=np.ones(4, dtype=int))
+        s.place(2, 3, 0)
+        scores = hdrf_scores(s, 0, 1)
+        assert scores[0] == -np.inf
+        assert np.isfinite(scores[1])
+
+    def test_zero_degree_safe(self):
+        s = StreamingState(2, k=2, capacity=10)
+        scores = hdrf_scores(s, 0, 1)  # partial degrees all zero
+        assert np.isfinite(scores).all()
+
+
+class TestGreedyChoose:
+    def _state(self, k=3, capacity=100):
+        return StreamingState(6, k=k, capacity=capacity)
+
+    def test_common_partition_wins(self):
+        s = self._state()
+        s.replicas[2, 0] = True
+        s.replicas[2, 1] = True
+        s.replicas[0, 0] = True
+        assert greedy_choose(s, 0, 1, 5, 5) == 2
+
+    def test_intersection_least_loaded(self):
+        s = self._state()
+        for p in (0, 1):
+            s.replicas[p, 0] = True
+            s.replicas[p, 1] = True
+        s.loads[0] = 10
+        assert greedy_choose(s, 0, 1, 5, 5) == 1
+
+    def test_disjoint_follows_higher_remaining(self):
+        s = self._state()
+        s.replicas[0, 0] = True
+        s.replicas[1, 1] = True
+        assert greedy_choose(s, 0, 1, remaining_u=9, remaining_v=2) == 0
+        assert greedy_choose(s, 0, 1, remaining_u=1, remaining_v=2) == 1
+
+    def test_single_side(self):
+        s = self._state()
+        s.replicas[1, 1] = True
+        assert greedy_choose(s, 0, 1, 1, 1) == 1
+
+    def test_both_new_least_loaded(self):
+        s = self._state()
+        s.loads[:] = [5, 3, 9]
+        assert greedy_choose(s, 0, 1, 1, 1) == 1
+
+    def test_all_full_returns_minus_one(self):
+        s = self._state(k=2, capacity=1)
+        s.place(2, 3, 0)
+        s.place(4, 5, 1)
+        assert greedy_choose(s, 0, 1, 1, 1) == -1
+
+    def test_full_common_partition_skipped(self):
+        s = self._state(k=2, capacity=1)
+        s.replicas[0, 0] = True
+        s.replicas[0, 1] = True
+        s.loads[0] = 1  # full
+        assert greedy_choose(s, 0, 1, 1, 1) == 1

@@ -1,0 +1,80 @@
+"""Tests for the restreaming (multi-pass HDRF) extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import chung_lu, erdos_renyi
+from repro.metrics import assert_valid, replication_factor
+from repro.partition import HdrfPartitioner
+from repro.partition.restreaming import RestreamingHdrfPartitioner
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(500, mean_degree=10, exponent=2.2, seed=61)
+
+
+class TestRestreaming:
+    def test_valid_assignment(self, graph):
+        a = RestreamingHdrfPartitioner(passes=2).partition(graph, 4)
+        assert_valid(a, alpha=1.0)
+
+    def test_single_pass_close_to_hdrf(self, graph):
+        """One pass with exact degrees ~ standalone exact-degree HDRF."""
+        rf_restream = replication_factor(
+            RestreamingHdrfPartitioner(passes=1).partition(graph, 8)
+        )
+        rf_hdrf = replication_factor(
+            HdrfPartitioner(exact_degrees=True).partition(graph, 8)
+        )
+        assert rf_restream == pytest.approx(rf_hdrf, rel=0.1)
+
+    def test_more_passes_not_worse(self, graph):
+        """Restreaming's whole point: later passes refine early mistakes."""
+        k = 8
+        rf = {
+            passes: replication_factor(
+                RestreamingHdrfPartitioner(passes=passes).partition(graph, k)
+            )
+            for passes in (1, 3)
+        }
+        assert rf[3] <= rf[1] * 1.02
+
+    def test_beats_single_pass_hdrf(self, graph):
+        k = 8
+        rf_multi = replication_factor(
+            RestreamingHdrfPartitioner(passes=3).partition(graph, k)
+        )
+        rf_single = replication_factor(HdrfPartitioner().partition(graph, k))
+        assert rf_multi < rf_single
+
+    def test_rejects_zero_passes(self):
+        with pytest.raises(ConfigurationError):
+            RestreamingHdrfPartitioner(passes=0)
+
+    def test_name_encodes_passes(self):
+        assert RestreamingHdrfPartitioner(passes=4).name == "ReHDRF-4"
+
+    def test_deterministic(self, graph):
+        a = RestreamingHdrfPartitioner(passes=2).partition(graph, 4)
+        b = RestreamingHdrfPartitioner(passes=2).partition(graph, 4)
+        assert np.array_equal(a.parts, b.parts)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(8, 40),
+    m=st.integers(10, 100),
+    k=st.sampled_from([2, 4]),
+    passes=st.sampled_from([1, 2, 3]),
+    seed=st.integers(0, 3),
+)
+def test_restreaming_property(n, m, k, passes, seed):
+    g = erdos_renyi(n, m, seed=seed)
+    if g.num_edges < k:
+        return
+    a = RestreamingHdrfPartitioner(passes=passes).partition(g, k)
+    assert_valid(a, alpha=1.0)
