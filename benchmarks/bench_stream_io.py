@@ -1,0 +1,100 @@
+"""Bench: in-memory HEP vs out-of-core HEP (wall-clock and peak heap).
+
+The out-of-core pipeline trades extra passes over the edge file for a
+bounded working set.  This bench measures both sides of that trade on a
+file-backed R-MAT graph: wall-clock through pytest-benchmark, and a
+peak-RSS proxy via ``tracemalloc`` (pure-Python heap peaks — interpreter
+overhead cancels out of the comparison since both sides pay it).
+
+Like every ``bench_*`` module here, functions use the ``bench_`` prefix
+so the tier-1 test run (default ``python_functions = test*``) never
+collects them.  Run explicitly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_stream_io.py \
+        -o python_functions=bench_ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.core.hep import HepPartitioner
+from repro.graph import generators, read_binary_edgelist, write_binary_edgelist
+from repro.stream import OutOfCoreHep
+
+_K = 16
+_TAU = 1.0
+_CHUNK = 1 << 12
+
+
+@pytest.fixture(scope="module")
+def edge_file(tmp_path_factory):
+    graph = generators.rmat(scale=12, edge_factor=8, seed=42, name="bench-rmat")
+    path = tmp_path_factory.mktemp("stream-io") / "rmat.bin"
+    write_binary_edgelist(graph, path)
+    return path
+
+
+def bench_in_memory_hep(benchmark, edge_file):
+    def run():
+        graph = read_binary_edgelist(edge_file)
+        return HepPartitioner(tau=_TAU).partition(graph, _K)
+
+    assignment = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert assignment.num_unassigned == 0
+
+
+def bench_out_of_core_hep(benchmark, edge_file):
+    pipeline = OutOfCoreHep(tau=_TAU, chunk_size=_CHUNK)
+    result = benchmark.pedantic(
+        pipeline.partition, args=(edge_file, _K), rounds=2, iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.num_unassigned == 0
+    assert result.breakdown.num_h2h_edges > 0
+
+
+def bench_out_of_core_hep_buffered(benchmark, edge_file):
+    pipeline = OutOfCoreHep(tau=_TAU, chunk_size=_CHUNK, buffer_size=1024)
+    result = benchmark.pedantic(
+        pipeline.partition, args=(edge_file, _K), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.num_unassigned == 0
+
+
+def bench_peak_heap_comparison(benchmark, edge_file, capsys):
+    """One traced run of each side; the table is the artifact."""
+
+    def measure():
+        rows = []
+        tracemalloc.start()
+        graph = read_binary_edgelist(edge_file)
+        in_mem = HepPartitioner(tau=_TAU).partition(graph, _K)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        rows.append(("in-memory HEP", peak, in_mem.replication_factor()))
+        del graph, in_mem
+
+        tracemalloc.start()
+        result = OutOfCoreHep(tau=_TAU, chunk_size=_CHUNK).partition(
+            edge_file, _K
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        rows.append(("out-of-core HEP", peak, result.replication_factor))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\npeak traced heap (tau=%g, k=%d):" % (_TAU, _K))
+        for name, peak, rf in rows:
+            print(f"  {name:<18} {peak / 2**20:8.2f} MiB  rf={rf:.4f}")
+    in_mem_peak = rows[0][1]
+    ooc_peak = rows[1][1]
+    # The bounded pipeline must not exceed the in-memory peak: chunks
+    # plus the pruned CSR are strictly smaller than the full edge array
+    # plus the same CSR.
+    assert ooc_peak < in_mem_peak

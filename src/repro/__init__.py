@@ -57,6 +57,7 @@ from repro.partition import (
     SimpleHybridPartitioner,
     SnePartitioner,
 )
+from repro.stream import OutOfCoreHep, SpillFile, open_edge_source
 
 __version__ = "1.0.0"
 
@@ -100,4 +101,8 @@ __all__ = [
     "MetisPartitioner",
     "SimpleHybridPartitioner",
     "RestreamingHdrfPartitioner",
+    # out-of-core streaming I/O
+    "OutOfCoreHep",
+    "SpillFile",
+    "open_edge_source",
 ]

@@ -17,6 +17,8 @@ import sys
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.core import HepPartitioner, precompute_profile, select_tau
 from repro.errors import ReproError
 from repro.experiments import REGISTRY
@@ -29,6 +31,7 @@ from repro.metrics import (
     replication_factor,
     vertex_balance,
 )
+from repro.stream.reader import DEFAULT_CHUNK_SIZE
 
 __all__ = ["main", "build_parser"]
 
@@ -49,9 +52,21 @@ def _load_graph(source: str) -> Graph:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
+    if args.out_of_core:
+        return _partition_out_of_core(args)
+    if args.memory_budget is not None:
+        raise ReproError("--memory-budget requires --out-of-core (the "
+                         "in-memory path cannot honor a byte budget)")
     graph = _load_graph(args.graph)
     if args.method.upper() == "HEP":
-        partitioner = HepPartitioner(tau=args.tau)
+        partitioner = HepPartitioner(
+            tau=args.tau,
+            spill_dir=args.spill_dir,
+            buffer_size=args.buffer_size,
+            chunk_size=args.chunk_size,
+        )
+    elif args.spill_dir is not None or args.buffer_size is not None:
+        raise ReproError("--spill-dir/--buffer-size apply only to HEP")
     else:
         from repro.experiments.common import make_partitioner
 
@@ -76,6 +91,48 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         paths = write_partition_edgelists(assignment, args.shards_dir)
         print(f"shards written     : {len(paths)} binary edge lists in "
               f"{args.shards_dir}")
+    return 0
+
+
+def _partition_out_of_core(args: argparse.Namespace) -> int:
+    """Chunked out-of-core HEP (``--out-of-core``): the graph source is
+    handed to the streaming pipeline unopened, so on-disk edge files are
+    never fully loaded."""
+    from repro.stream import OutOfCoreHep
+
+    if args.method.upper() != "HEP":
+        raise ReproError("--out-of-core supports only the HEP method")
+    if args.shards_dir:
+        raise ReproError("--shards-dir needs the edge list in memory; "
+                         "rerun without --out-of-core to write shards")
+    # An explicit byte budget selects tau from the Section 4.4 grid;
+    # otherwise the --tau flag applies as usual.
+    tau = None if args.memory_budget is not None else args.tau
+    pipeline = OutOfCoreHep(
+        tau=tau,
+        memory_budget=args.memory_budget,
+        chunk_size=args.chunk_size,
+        buffer_size=args.buffer_size,
+        spill_dir=args.spill_dir,
+    )
+    result = pipeline.partition(args.graph, args.k)
+    print(f"partitioner        : HEP-{result.tau:g} (out-of-core)")
+    print(f"source             : {args.graph} "
+          f"(n={result.num_vertices:,} m={result.num_edges:,})")
+    print(f"chunk size         : {result.chunk_size:,} edges")
+    if result.buffer_size:
+        print(f"buffer size        : {result.buffer_size:,} edges")
+    if result.projected_memory_bytes is not None:
+        print(f"memory budget      : {args.memory_budget:,} bytes "
+              f"(projected {result.projected_memory_bytes:,})")
+    print(f"h2h edges spilled  : {result.breakdown.num_h2h_edges:,} "
+          f"({result.spill_bytes:,} bytes on disk)")
+    print(f"replication factor : {result.replication_factor:.4f}")
+    print(f"edge balance alpha : {result.edge_balance:.4f}")
+    print(f"run-time           : {result.runtime_s:.3f}s")
+    if args.output:
+        np.savetxt(args.output, result.parts, fmt="%d")
+        print(f"assignment written : {args.output}")
     return 0
 
 
@@ -109,7 +166,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_datasets(_args: argparse.Namespace) -> int:
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    if args.export:
+        from repro.graph.edgelist import write_binary_edgelist, write_text_edgelist
+
+        graph = datasets.load(args.export)
+        suffix = ".bin" if args.format == "binary" else ".txt"
+        output = args.output or f"{args.export.upper()}{suffix}"
+        if args.format == "binary":
+            nbytes = write_binary_edgelist(graph, output)
+        else:
+            write_text_edgelist(graph, output)
+            nbytes = Path(output).stat().st_size
+        print(f"exported {graph!r}")
+        print(f"  -> {output} ({args.format}, {nbytes:,} bytes)")
+        return 0
     rows = []
     for name in datasets.available():
         spec = datasets.DATASETS[name]
@@ -142,6 +213,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="HEP degree threshold factor")
     p.add_argument("--output", help="write per-edge partition ids here")
     p.add_argument("--shards-dir", help="write one binary edge list per partition")
+    p.add_argument("--out-of-core", action="store_true",
+                   help="partition through the chunked streaming pipeline "
+                        "(repro.stream); edge files are never fully loaded")
+    p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                   help="byte budget for HEP's in-memory structures; "
+                        "selects tau from the §4.4 grid (overrides --tau)")
+    p.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                   help="edges per I/O chunk for --out-of-core")
+    p.add_argument("--buffer-size", type=int, default=None,
+                   help="buffered-scoring window for the streaming phase")
+    p.add_argument("--spill-dir", default=None,
+                   help="directory for the h2h spill file (default: temp dir)")
     p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser("compare", help="run several partitioners side by side")
@@ -164,7 +247,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("id", help=f"one of: {', '.join(REGISTRY)}")
     p.set_defaults(func=_cmd_experiment)
 
-    p = sub.add_parser("datasets", help="list the Table 3 stand-ins")
+    p = sub.add_parser(
+        "datasets", help="list the Table 3 stand-ins or export one to disk"
+    )
+    p.add_argument("--export", metavar="NAME", default=None,
+                   help="write the named stand-in as an on-disk edge file")
+    p.add_argument("--format", choices=("text", "binary"), default="binary",
+                   help="edge-file format for --export")
+    p.add_argument("--output", default=None,
+                   help="output path for --export (default: <NAME>.bin/.txt)")
     p.set_defaults(func=_cmd_datasets)
     return parser
 

@@ -22,14 +22,32 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.ne_plus_plus import NePlusPlusResult, run_ne_plus_plus
-from repro.errors import ConfigurationError
+from repro.errors import CapacityError, ConfigurationError
+from repro.graph.csr import _grouped_positions
 from repro.graph.edgelist import Graph
 from repro.partition.base import PartitionAssignment, Partitioner, capacity_bound
 from repro.partition.hdrf import hdrf_stream
 from repro.partition.random_stream import random_stream
+from repro.partition.scoring import greedy_choose
 from repro.partition.state import StreamingState
 
-__all__ = ["HepPartitioner", "HepPhaseBreakdown"]
+__all__ = ["HepPartitioner", "HepPhaseBreakdown", "phase_two_capacity"]
+
+
+def phase_two_capacity(
+    num_edges: int, k: int, alpha: float, loads: np.ndarray
+) -> int:
+    """Streaming-phase capacity bound shared by in-memory and out-of-core HEP.
+
+    The paper's bound ``alpha * |E| / k`` — but loads carried over from
+    phase one may already be at that bound on pathological inputs, so the
+    bound grows just enough to keep the stream feasible (reported alpha
+    will expose it).  Both HEP drivers must use this exact rule: the
+    out-of-core ≡ in-memory equivalence property depends on it.
+    """
+    capacity = capacity_bound(num_edges, k, alpha)
+    headroom = int(loads.max())
+    return max(capacity, headroom + 1)
 
 
 @dataclass(frozen=True)
@@ -76,6 +94,17 @@ class HepPartitioner(Partitioner):
         instead of the NE++ hand-over — the ablation isolating the value
         of Section 3.3's informed streaming (loads still carry over so
         the balance constraint stays sound).
+    spill_dir:
+        When set (and streaming is HDRF), the h2h edges are written to a
+        disk-backed :class:`~repro.stream.spill.SpillFile` in this
+        directory and phase two reads them back in bounded chunks — the
+        paper's "external memory edge file" made literal.
+    buffer_size:
+        Buffered scoring window for the HDRF streaming phase
+        (:mod:`repro.stream.buffered`); ``None`` keeps the classic
+        per-edge stream order.
+    chunk_size:
+        Spill read-back chunk size (only meaningful with ``spill_dir``).
     """
 
     def __init__(
@@ -87,11 +116,18 @@ class HepPartitioner(Partitioner):
         streaming: str = "hdrf",
         informed: bool = True,
         seed: int = 0,
+        spill_dir: str | None = None,
+        buffer_size: int | None = None,
+        chunk_size: int = 1 << 16,
     ) -> None:
         if tau <= 0:
             raise ConfigurationError(f"tau must be positive, got {tau}")
         if streaming not in ("hdrf", "greedy", "random"):
             raise ConfigurationError(f"unknown streaming strategy {streaming!r}")
+        if (spill_dir is not None or buffer_size is not None) and streaming != "hdrf":
+            raise ConfigurationError(
+                "spill_dir/buffer_size require the HDRF streaming phase"
+            )
         self.tau = tau
         self.alpha = alpha
         self.lam = lam
@@ -99,6 +135,9 @@ class HepPartitioner(Partitioner):
         self.streaming = streaming
         self.informed = informed
         self.seed = seed
+        self.spill_dir = spill_dir
+        self.buffer_size = buffer_size
+        self.chunk_size = chunk_size
         self.last_breakdown: HepPhaseBreakdown | None = None
         label = "inf" if np.isinf(tau) else f"{tau:g}"
         self.name = f"HEP-{label}"
@@ -124,12 +163,7 @@ class HepPartitioner(Partitioner):
         h2h = phase_one.h2h
         if h2h.num_edges == 0:
             return parts
-        capacity = capacity_bound(graph.num_edges, k, self.alpha)
-        # Loads carried over from phase one may already be at the overall
-        # bound on pathological inputs; grow the bound just enough to keep
-        # the stream feasible (reported alpha will expose it).
-        headroom = int(phase_one.loads.max())
-        capacity = max(capacity, headroom + 1)
+        capacity = phase_two_capacity(graph.num_edges, k, self.alpha, phase_one.loads)
         if self.streaming == "hdrf":
             if self.informed:
                 state = StreamingState.informed(
@@ -149,9 +183,7 @@ class HepPartitioner(Partitioner):
                     replicas=np.zeros_like(phase_one.secondary),
                     loads=phase_one.loads,
                 )
-            hdrf_stream(
-                state, h2h.pairs, h2h.eids, parts, lam=self.lam, eps=self.eps
-            )
+            self._hdrf_phase(state, h2h, parts)
         elif self.streaming == "greedy":
             state = StreamingState.informed(
                 graph, k, capacity,
@@ -171,20 +203,59 @@ class HepPartitioner(Partitioner):
             )
         return parts
 
+    def _hdrf_phase(self, state: StreamingState, h2h, parts: np.ndarray) -> None:
+        """HDRF streaming, optionally disk-spilled and/or buffered."""
+        if self.spill_dir is None and self.buffer_size is None:
+            hdrf_stream(
+                state, h2h.pairs, h2h.eids, parts, lam=self.lam, eps=self.eps
+            )
+            return
+        from repro.stream.buffered import stream_chunks_through_hdrf
+        from repro.stream.spill import SpillFile
+
+        if self.spill_dir is not None:
+            with SpillFile(dir=self.spill_dir) as spill:
+                spill.append(h2h.pairs, h2h.eids)
+                stream_chunks_through_hdrf(
+                    state,
+                    spill.chunks(self.chunk_size),
+                    parts,
+                    lam=self.lam,
+                    eps=self.eps,
+                    buffer_size=self.buffer_size,
+                )
+        else:
+            stream_chunks_through_hdrf(
+                state,
+                [(h2h.pairs, h2h.eids)],
+                parts,
+                lam=self.lam,
+                eps=self.eps,
+                buffer_size=self.buffer_size,
+            )
+
     @staticmethod
     def _greedy_stream(graph, state: StreamingState, h2h, parts: np.ndarray) -> None:
-        """PowerGraph-greedy placement over the h2h stream (informed)."""
-        from repro.errors import CapacityError
-        from repro.partition.scoring import greedy_choose
+        """PowerGraph-greedy placement over the h2h stream (informed).
 
-        remaining = graph.degrees.copy()
+        The per-edge ``remaining`` degree bookkeeping of the original
+        loop is batched: ``remaining[x]`` at edge ``i`` equals ``d(x)``
+        minus the number of times ``x`` appeared in edges ``0..i-1``, so
+        one stable occurrence-rank pass over the flattened endpoint
+        stream precomputes every lookup.
+        """
+        if h2h.num_edges == 0:
+            return
+        flat = h2h.pairs.ravel()
+        prior = _grouped_positions(flat, np.zeros(graph.num_vertices, dtype=np.int64))
+        remaining = graph.degrees[flat] - prior
+        rem_u, rem_v = remaining[0::2], remaining[1::2]
+        pairs, eids = h2h.pairs, h2h.eids
         for i in range(h2h.num_edges):
-            u = int(h2h.pairs[i, 0])
-            v = int(h2h.pairs[i, 1])
-            p = greedy_choose(state, u, v, int(remaining[u]), int(remaining[v]))
+            u = int(pairs[i, 0])
+            v = int(pairs[i, 1])
+            p = greedy_choose(state, u, v, int(rem_u[i]), int(rem_v[i]))
             if p < 0:
                 raise CapacityError("HEP/greedy: all partitions at capacity")
             state.place(u, v, p)
-            remaining[u] -= 1
-            remaining[v] -= 1
-            parts[h2h.eids[i]] = p
+            parts[eids[i]] = p

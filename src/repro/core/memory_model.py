@@ -29,6 +29,7 @@ from repro.graph.pruned import high_degree_mask
 __all__ = [
     "pruned_column_entries",
     "hep_memory_bytes",
+    "hep_memory_bytes_from_entries",
     "ne_memory_bytes",
     "ne_plus_plus_memory_bytes",
     "sne_memory_bytes",
@@ -58,10 +59,24 @@ def pruned_column_entries(graph: Graph, tau: float) -> int:
 
 def hep_memory_bytes(graph: Graph, tau: float, k: int, id_bytes: int = 4) -> int:
     """Section 4.2's total for HEP at threshold ``tau``."""
+    return hep_memory_bytes_from_entries(
+        pruned_column_entries(graph, tau), graph.num_vertices, k, id_bytes
+    )
+
+
+def hep_memory_bytes_from_entries(
+    column_entries: int, num_vertices: int, k: int, id_bytes: int = 4
+) -> int:
+    """Section 4.2's total given a precomputed column-entry count.
+
+    The out-of-core pipeline counts column entries chunk by chunk (it
+    never holds the edge array needed by :func:`pruned_column_entries`)
+    and evaluates the same closed formula through this entry point.
+    """
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k}")
-    n = graph.num_vertices
-    column = pruned_column_entries(graph, tau) * id_bytes
+    n = num_vertices
+    column = column_entries * id_bytes
     vertex_arrays = 6 * n * id_bytes          # index x2, size x2, heap x2
     bitsets = n * (k + 1) // 8 + 1
     return column + vertex_arrays + bitsets

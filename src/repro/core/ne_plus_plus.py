@@ -57,7 +57,13 @@ from repro.partition.base import (
     capacity_bound,
 )
 
-__all__ = ["NePlusPlusResult", "NePlusPlusStats", "run_ne_plus_plus", "NePlusPlusPartitioner"]
+__all__ = [
+    "NePlusPlusResult",
+    "NePlusPlusStats",
+    "run_ne_plus_plus",
+    "run_ne_plus_plus_on_csr",
+    "NePlusPlusPartitioner",
+]
 
 #: tau value that disables pruning entirely (pure in-memory NE++)
 TAU_UNPRUNED = float("inf")
@@ -85,9 +91,15 @@ class NePlusPlusStats:
 
 @dataclass
 class NePlusPlusResult:
-    """Output of the in-memory phase, ready for the streaming hand-over."""
+    """Output of the in-memory phase, ready for the streaming hand-over.
 
-    graph: Graph
+    ``graph`` is ``None`` when the phase ran on a chunk-built CSR
+    (:func:`run_ne_plus_plus_on_csr`): the out-of-core pipeline never
+    materializes a full :class:`Graph`, and the h2h edges then live in a
+    spill file rather than in :attr:`h2h`.
+    """
+
+    graph: Graph | None
     k: int
     tau: float
     parts: np.ndarray              # (m,) int32; h2h edges remain -1
@@ -99,10 +111,15 @@ class NePlusPlusResult:
 
     @property
     def num_inmemory_edges(self) -> int:
-        return self.graph.num_edges - self.h2h.num_edges
+        return int(self.parts.shape[0]) - self.h2h.num_edges
 
     def to_assignment(self) -> PartitionAssignment:
         """Assignment view (only complete when there are no h2h edges)."""
+        if self.graph is None:
+            raise ConfigurationError(
+                "NE++ ran without an in-memory Graph; build the assignment "
+                "through the out-of-core pipeline instead"
+            )
         return PartitionAssignment(self.graph, self.k, self.parts)
 
 
@@ -135,15 +152,45 @@ def run_ne_plus_plus(
         randomized selection, kept as an ablation (still scanned without
         replacement so it terminates).
     """
-    if k < 2:
-        raise ConfigurationError(f"NE++ requires k >= 2, got {k}")
-    if seed_order not in ("sequential", "random"):
-        raise ConfigurationError(f"unknown seed_order {seed_order!r}")
     if np.isinf(tau):
         high = np.zeros(graph.num_vertices, dtype=bool)
     else:
         high = high_degree_mask(graph, tau)
     csr = CsrGraph.build(graph, high_mask=high)
+    return run_ne_plus_plus_on_csr(
+        csr,
+        k,
+        tau=tau,
+        record_degrees=record_degrees,
+        trace_walk=trace_walk,
+        seed_order=seed_order,
+        seed=seed,
+        graph=graph,
+    )
+
+
+def run_ne_plus_plus_on_csr(
+    csr: CsrGraph,
+    k: int,
+    tau: float = TAU_UNPRUNED,
+    record_degrees: bool = False,
+    trace_walk: Callable[[int], None] | None = None,
+    seed_order: str = "sequential",
+    seed: int = 0,
+    graph: Graph | None = None,
+) -> NePlusPlusResult:
+    """Run NE++ on a prebuilt (possibly chunk-built) CSR.
+
+    This is the out-of-core entry point: :mod:`repro.stream` assembles the
+    pruned CSR from bounded chunks (diverting h2h edges to a spill file)
+    and hands it here without ever constructing the full edge array.  The
+    CSR carries everything the phase needs — true degrees, the high-degree
+    mask and the total edge count.
+    """
+    if k < 2:
+        raise ConfigurationError(f"NE++ requires k >= 2, got {k}")
+    if seed_order not in ("sequential", "random"):
+        raise ConfigurationError(f"unknown seed_order {seed_order!r}")
     run = _NePlusPlusRun(
         graph, csr, k, tau, record_degrees, trace_walk, seed_order, seed
     )
@@ -153,7 +200,7 @@ def run_ne_plus_plus(
 class _NePlusPlusRun:
     def __init__(
         self,
-        graph: Graph,
+        graph: Graph | None,
         csr: CsrGraph,
         k: int,
         tau: float,
@@ -166,12 +213,13 @@ class _NePlusPlusRun:
         self.csr = csr
         self.k = k
         self.tau = tau
-        self.n = graph.num_vertices
+        self.n = csr.num_vertices
+        self.degrees = csr.degrees
         self.high = csr.high_mask
         self.m_inmem = csr.num_csr_edges
         # Adapted capacity bound: only in-memory edges count here.
         self.capacity = capacity_bound(max(self.m_inmem, 1), k)
-        self.parts = np.full(graph.num_edges, -1, dtype=np.int32)
+        self.parts = np.full(csr.num_edges_total, -1, dtype=np.int32)
         self.loads = np.zeros(k, dtype=np.int64)
         self.in_core = np.zeros(self.n, dtype=bool)
         self.secondary = np.zeros((k, self.n), dtype=bool)
@@ -200,7 +248,7 @@ class _NePlusPlusRun:
                     self.secondary[i] & ~self.in_core & ~self.high
                 )
                 self.stats.secondary_end_degrees.extend(
-                    self.graph.degrees[members].tolist()
+                    self.degrees[members].tolist()
                 )
             self._cleanup(i)
             if exhausted or self.assigned_inmem >= self.m_inmem:
@@ -275,7 +323,7 @@ class _NePlusPlusRun:
             sec[v] = True
         self.stats.num_cored += 1
         if self.record_degrees:
-            self.stats.core_degrees.append(int(self.graph.degrees[v]))
+            self.stats.core_degrees.append(int(self.degrees[v]))
         if self.trace_walk is not None:
             self.trace_walk(v)
         nbrs, eids = self.csr.adjacency(v)

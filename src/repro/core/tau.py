@@ -21,7 +21,13 @@ from repro.core.memory_model import hep_memory_bytes
 from repro.errors import ConfigurationError
 from repro.graph.edgelist import Graph
 
-__all__ = ["TauProfile", "precompute_profile", "select_tau", "DEFAULT_TAU_GRID"]
+__all__ = [
+    "TauProfile",
+    "precompute_profile",
+    "select_tau",
+    "select_from_footprints",
+    "DEFAULT_TAU_GRID",
+]
 
 #: log-spaced grid covering the paper's range (HEP-1 .. HEP-100) and beyond
 DEFAULT_TAU_GRID: tuple[float, ...] = (
@@ -81,13 +87,29 @@ def select_tau(
     the paper's answer would be pure streaming).
     """
     profile = precompute_profile(graph, k, taus, id_bytes=id_bytes)
+    return select_from_footprints(
+        profile.taus, profile.bytes_per_tau, memory_budget_bytes
+    )
+
+
+def select_from_footprints(
+    taus: tuple[float, ...] | list[float],
+    footprints: tuple[int, ...] | list[int],
+    memory_budget_bytes: int,
+) -> tuple[float, int]:
+    """The grid-selection rule shared with the out-of-core pipeline.
+
+    :class:`~repro.stream.pipeline.OutOfCoreHep` computes footprints
+    from chunk-counted column entries and must pick identically to
+    :func:`select_tau` — both funnel through here.
+    """
     best: tuple[float, int] | None = None
-    for tau, footprint in zip(profile.taus, profile.bytes_per_tau):
+    for tau, footprint in zip(taus, footprints):
         if footprint <= memory_budget_bytes:
             if best is None or tau > best[0]:
                 best = (tau, footprint)
     if best is None:
-        smallest = min(profile.bytes_per_tau)
+        smallest = min(footprints)
         raise ConfigurationError(
             f"no tau on the grid fits {memory_budget_bytes:,} bytes "
             f"(minimum projected footprint is {smallest:,} bytes)"

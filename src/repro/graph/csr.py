@@ -107,6 +107,7 @@ class CsrGraph:
         high_mask: np.ndarray,
         h2h_edges: ExternalEdges,
         num_edges_total: int,
+        num_csr_edges: int | None = None,
     ) -> None:
         self.num_vertices = num_vertices
         self.col = col
@@ -119,6 +120,13 @@ class CsrGraph:
         self.high_mask = high_mask
         self.h2h_edges = h2h_edges
         self.num_edges_total = num_edges_total
+        # When the h2h edges were diverted to disk (repro.stream.spill),
+        # h2h_edges is empty and the kept-edge count is supplied directly.
+        self._num_csr_edges = (
+            num_edges_total - h2h_edges.num_edges
+            if num_csr_edges is None
+            else int(num_csr_edges)
+        )
 
     # -- construction ------------------------------------------------------
 
@@ -147,7 +155,52 @@ class CsrGraph:
         eids_all = np.arange(graph.num_edges, dtype=np.int64)
         external = ExternalEdges(pairs=edges[h2h].copy(), eids=eids_all[h2h])
 
-        ku, kv, keid = u[keep], v[keep], eids_all[keep]
+        return cls.from_arrays(
+            num_vertices=n,
+            pairs=edges[keep],
+            eids=eids_all[keep],
+            degrees=degrees,
+            high_mask=high_mask,
+            num_edges_total=graph.num_edges,
+            external=external,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        num_vertices: int,
+        pairs: np.ndarray,
+        eids: np.ndarray,
+        degrees: np.ndarray,
+        high_mask: np.ndarray,
+        num_edges_total: int,
+        external: ExternalEdges | None = None,
+    ) -> "CsrGraph":
+        """Build a CSR from the *kept* (non-h2h) edges given explicitly.
+
+        This is the out-of-core construction path (:mod:`repro.stream`):
+        the caller accumulated ``pairs``/``eids`` chunk by chunk, diverting
+        h2h edges to a spill file along the way, so no full in-memory
+        :class:`Graph` ever exists.  ``pairs`` must not contain an edge
+        whose endpoints are both flagged in ``high_mask``; ``degrees`` are
+        the *true* degrees over all ``num_edges_total`` edges, including
+        the diverted ones.  ``external`` defaults to an empty edge set (the
+        diverted edges live on disk).
+        """
+        n = int(num_vertices)
+        pairs = np.ascontiguousarray(pairs, dtype=np.int64).reshape(-1, 2)
+        eids = np.ascontiguousarray(eids, dtype=np.int64)
+        if eids.shape != (pairs.shape[0],):
+            raise GraphFormatError("eids must parallel pairs")
+        high_mask = np.asarray(high_mask, dtype=bool)
+        if high_mask.shape != (n,):
+            raise GraphFormatError("high_mask must have one flag per vertex")
+        if external is None:
+            external = ExternalEdges(
+                pairs=np.empty((0, 2), dtype=np.int64),
+                eids=np.empty(0, dtype=np.int64),
+            )
+        ku, kv, keid = pairs[:, 0], pairs[:, 1], eids
         # An out-entry exists at u unless u is pruned; same for the in-entry.
         out_entry = ~high_mask[ku]
         in_entry = ~high_mask[kv]
@@ -179,10 +232,11 @@ class CsrGraph:
             out_size=out_counts.copy(),
             in_start=in_start,
             in_size=in_counts.copy(),
-            degrees=degrees,
+            degrees=np.asarray(degrees, dtype=np.int64),
             high_mask=high_mask,
             h2h_edges=external,
-            num_edges_total=graph.num_edges,
+            num_edges_total=int(num_edges_total),
+            num_csr_edges=int(pairs.shape[0]),
         )
 
     # -- read access ---------------------------------------------------------
@@ -190,7 +244,7 @@ class CsrGraph:
     @property
     def num_csr_edges(self) -> int:
         """Number of undirected edges represented in the column array."""
-        return self.num_edges_total - self.h2h_edges.num_edges
+        return self._num_csr_edges
 
     @property
     def is_pruned(self) -> bool:

@@ -89,9 +89,29 @@ class StreamingState:
         NE++ ("a vertex is replicated in partition p_i exactly if it is in
         S_i"); ``loads`` are the per-partition edge counts after phase one.
         """
-        state = cls(graph.num_vertices, k, capacity, exact_degrees=graph.degrees)
+        return cls.informed_arrays(
+            graph.num_vertices, graph.degrees, k, capacity, replicas, loads
+        )
+
+    @classmethod
+    def informed_arrays(
+        cls,
+        num_vertices: int,
+        degrees: np.ndarray,
+        k: int,
+        capacity: int,
+        replicas: np.ndarray,
+        loads: np.ndarray,
+    ) -> "StreamingState":
+        """:meth:`informed` from bare arrays — no :class:`Graph` required.
+
+        The out-of-core pipeline (:mod:`repro.stream`) knows the exact
+        degrees from its counting pass but never holds the full edge list,
+        so the hand-over is expressed in terms of arrays alone.
+        """
+        state = cls(num_vertices, k, capacity, exact_degrees=degrees)
         replicas = np.asarray(replicas, dtype=bool)
-        if replicas.shape != (k, graph.num_vertices):
+        if replicas.shape != (k, num_vertices):
             raise ConfigurationError("replica matrix must be (k, n)")
         state.replicas = replicas.copy()
         loads = np.asarray(loads, dtype=np.int64)

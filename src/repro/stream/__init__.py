@@ -1,0 +1,45 @@
+"""Out-of-core streaming I/O: chunked edge pipelines for memory-bounded HEP.
+
+The seed reproduction simulated the paper's memory knob — every code
+path still materialized the full edge list in RAM.  This package makes
+the constraint real:
+
+* :mod:`repro.stream.reader` — chunked :class:`EdgeChunkSource` blocks
+  from text/binary edge files, dataset names or in-memory graphs,
+* :mod:`repro.stream.spill` — the disk-backed h2h edge file NE++
+  appends to instead of holding high/high edges in RAM,
+* :mod:`repro.stream.buffered` — a buffered scoring window for phase
+  two (quality/throughput knob ``buffer_size``),
+* :mod:`repro.stream.pipeline` — :class:`OutOfCoreHep`, chaining the
+  pieces under an explicit byte budget from
+  :mod:`repro.core.memory_model`.
+"""
+
+from repro.stream.buffered import buffered_hdrf_stream, stream_chunks_through_hdrf
+from repro.stream.pipeline import OutOfCoreHep, OutOfCoreResult, scan_source
+from repro.stream.reader import (
+    DEFAULT_CHUNK_SIZE,
+    BinaryFileEdgeSource,
+    EdgeChunk,
+    EdgeChunkSource,
+    InMemoryEdgeSource,
+    TextFileEdgeSource,
+    open_edge_source,
+)
+from repro.stream.spill import SpillFile
+
+__all__ = [
+    "EdgeChunk",
+    "EdgeChunkSource",
+    "InMemoryEdgeSource",
+    "BinaryFileEdgeSource",
+    "TextFileEdgeSource",
+    "open_edge_source",
+    "DEFAULT_CHUNK_SIZE",
+    "SpillFile",
+    "buffered_hdrf_stream",
+    "stream_chunks_through_hdrf",
+    "OutOfCoreHep",
+    "OutOfCoreResult",
+    "scan_source",
+]

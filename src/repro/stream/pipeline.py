@@ -1,0 +1,360 @@
+"""Out-of-core HEP: chunked reading → NE++ with spill → buffered streaming.
+
+This driver is the subsystem's reason to exist: it partitions a graph
+that is *never fully resident in memory*.  The stages, all bounded by
+the chunk size:
+
+1. **Counting pass** — one chunked sweep accumulates exact degrees, the
+   vertex-universe size and the edge count (HEP needs true degrees for
+   the threshold and for informed streaming).
+2. **Budgeting** — given ``memory_budget`` bytes, the Section 4.2 memory
+   formula is evaluated per candidate ``tau`` from chunk-counted column
+   entries (:func:`~repro.core.memory_model.hep_memory_bytes_from_entries`)
+   and the largest fitting ``tau`` wins, mirroring
+   :func:`~repro.core.tau.select_tau` without a Graph.
+3. **Splitting pass** — each chunk is split against the high-degree
+   mask: h2h edges are appended to a disk-backed
+   :class:`~repro.stream.spill.SpillFile`, the rest accumulate into the
+   pruned CSR's edge arrays.
+4. **Phase one** — NE++ runs on the chunk-built CSR
+   (:func:`~repro.core.ne_plus_plus.run_ne_plus_plus_on_csr`).
+5. **Phase two** — the spill file is streamed back in chunks through
+   informed HDRF, optionally behind a buffered scoring window
+   (:mod:`repro.stream.buffered`).
+6. **Metrics pass** — replication factor and balance are computed by one
+   more chunked sweep over the source (the cover matrix is ``k×n`` bits,
+   the same footprint NE++'s secondary sets already paid).
+
+With ``order="natural"`` and no buffering the result is bit-identical
+to :class:`~repro.core.hep.HepPartitioner` on the same input — the
+property the test suite pins for every chunk size ≥ 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hep import HepPhaseBreakdown, phase_two_capacity
+from repro.core.memory_model import hep_memory_bytes_from_entries
+from repro.core.ne_plus_plus import run_ne_plus_plus_on_csr
+from repro.core.tau import DEFAULT_TAU_GRID, select_from_footprints
+from repro.errors import ConfigurationError, PartitioningError
+from repro.graph.csr import CsrGraph
+from repro.partition.base import PartitionAssignment
+from repro.partition.state import StreamingState
+from repro.stream.buffered import stream_chunks_through_hdrf
+from repro.stream.reader import DEFAULT_CHUNK_SIZE, EdgeChunkSource, open_edge_source
+from repro.stream.spill import SpillFile
+
+__all__ = ["OutOfCoreHep", "OutOfCoreResult", "scan_source"]
+
+
+@dataclass(frozen=True)
+class SourceStats:
+    """What one counting pass over an edge source establishes."""
+
+    num_vertices: int
+    num_edges: int
+    degrees: np.ndarray
+
+    @property
+    def mean_degree(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_vertices
+
+
+def scan_source(source: EdgeChunkSource) -> SourceStats:
+    """Counting pass: exact degrees, ``n`` and ``m`` in one chunked sweep."""
+    degrees = np.zeros(0, dtype=np.int64)
+    num_edges = 0
+    for chunk in source:
+        num_edges += chunk.num_edges
+        if chunk.num_edges == 0:
+            continue
+        top = int(chunk.pairs.max()) + 1
+        if top > degrees.size:
+            grown = np.zeros(top, dtype=np.int64)
+            grown[: degrees.size] = degrees
+            degrees = grown
+        degrees += np.bincount(
+            chunk.pairs.ravel(), minlength=degrees.size
+        ).astype(np.int64)
+    n = degrees.size
+    declared = source.num_vertices
+    if declared is not None and declared > n:
+        grown = np.zeros(declared, dtype=np.int64)
+        grown[:n] = degrees
+        degrees, n = grown, declared
+    return SourceStats(num_vertices=n, num_edges=num_edges, degrees=degrees)
+
+
+@dataclass
+class OutOfCoreResult:
+    """Everything an out-of-core run can report without a Graph in RAM."""
+
+    parts: np.ndarray          # (m,) int32 per-edge partition ids
+    k: int
+    tau: float
+    num_vertices: int
+    num_edges: int
+    chunk_size: int
+    buffer_size: int | None
+    breakdown: HepPhaseBreakdown
+    spill_bytes: int
+    loads: np.ndarray          # (k,) final per-partition edge counts
+    replication_factor: float
+    edge_balance: float
+    projected_memory_bytes: int | None
+    runtime_s: float
+
+    @property
+    def num_unassigned(self) -> int:
+        return int((self.parts < 0).sum())
+
+    def to_assignment(self, graph) -> PartitionAssignment:
+        """Attach the parts to an in-memory Graph (tests/analysis only)."""
+        return PartitionAssignment(graph, self.k, self.parts)
+
+
+class OutOfCoreHep:
+    """HEP under an explicit memory budget, fed by a chunked edge source.
+
+    Parameters
+    ----------
+    tau:
+        Degree threshold factor.  ``None`` (the default) means 10.0
+        unless ``memory_budget`` is given, in which case the budget
+        selects the largest fitting ``tau`` from the Section 4.4 grid.
+    memory_budget:
+        Byte budget for HEP's in-memory structures, evaluated with the
+        Section 4.2 formula (:mod:`repro.core.memory_model`).
+    chunk_size:
+        Edges per I/O chunk for every pass and the spill read-back.
+    buffer_size:
+        Buffered-scoring window for phase two; ``None`` keeps the exact
+        per-edge stream order (bit-identical to in-memory HEP).
+    spill_dir:
+        Directory for the h2h spill file (system temp dir by default).
+    order, seed:
+        Chunk order for sources that support reordering.
+    """
+
+    def __init__(
+        self,
+        tau: float | None = None,
+        alpha: float = 1.0,
+        lam: float = 1.1,
+        eps: float = 1.0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        buffer_size: int | None = None,
+        spill_dir: str | None = None,
+        memory_budget: int | None = None,
+        tau_grid: tuple[float, ...] = DEFAULT_TAU_GRID,
+        id_bytes: int = 4,
+        order: str = "natural",
+        seed: int = 0,
+    ) -> None:
+        if tau is not None and tau <= 0:
+            raise ConfigurationError(f"tau must be positive, got {tau}")
+        if memory_budget is not None and memory_budget < 1:
+            raise ConfigurationError(
+                f"memory_budget must be positive, got {memory_budget}"
+            )
+        self.tau = tau
+        self.alpha = alpha
+        self.lam = lam
+        self.eps = eps
+        self.chunk_size = int(chunk_size)
+        self.buffer_size = buffer_size
+        self.spill_dir = spill_dir
+        self.memory_budget = memory_budget
+        self.tau_grid = tau_grid
+        self.id_bytes = id_bytes
+        self.order = order
+        self.seed = seed
+        self.last_result: OutOfCoreResult | None = None
+        self.name = "HEP-ooc"
+
+    # -- driver ------------------------------------------------------------
+
+    def partition(self, source, k: int) -> OutOfCoreResult:
+        """Run the full pipeline; ``source`` is anything
+        :func:`~repro.stream.reader.open_edge_source` accepts."""
+        if k < 2:
+            raise ConfigurationError(f"out-of-core HEP requires k >= 2, got {k}")
+        start = time.perf_counter()
+        src = open_edge_source(
+            source, self.chunk_size, order=self.order, seed=self.seed
+        )
+        stats = scan_source(src)
+        if stats.num_edges == 0:
+            raise PartitioningError("out-of-core HEP: edge stream is empty")
+
+        projected: int | None = None
+        if self.tau is not None:
+            tau = self.tau
+        elif self.memory_budget is not None:
+            tau, projected = self._select_tau(src, stats, k)
+        else:
+            tau = 10.0
+
+        threshold = tau * stats.mean_degree
+        high = stats.degrees > threshold
+
+        with SpillFile(dir=self.spill_dir) as spill:
+            csr = self._split_and_build(src, stats, high, spill)
+            phase_one = run_ne_plus_plus_on_csr(csr, k, tau=tau)
+            parts = phase_one.parts
+            loads = phase_one.loads.copy()
+            if len(spill):
+                loads = self._stream_spill(
+                    spill, stats, k, phase_one, parts
+                )
+            spill_bytes = spill.nbytes
+            num_h2h = len(spill)
+
+        breakdown = HepPhaseBreakdown(
+            num_edges=stats.num_edges,
+            num_h2h_edges=num_h2h,
+            num_inmemory_edges=stats.num_edges - num_h2h,
+            cleanup_removed_fraction=phase_one.stats.cleanup_removed_fraction,
+            spilled_edges=phase_one.stats.spilled_edges,
+        )
+        rf, balance = self._metrics_pass(src, stats, k, parts)
+        result = OutOfCoreResult(
+            parts=parts,
+            k=k,
+            tau=tau,
+            num_vertices=stats.num_vertices,
+            num_edges=stats.num_edges,
+            chunk_size=self.chunk_size,
+            buffer_size=self.buffer_size,
+            breakdown=breakdown,
+            spill_bytes=spill_bytes,
+            loads=loads,
+            replication_factor=rf,
+            edge_balance=balance,
+            projected_memory_bytes=projected,
+            runtime_s=time.perf_counter() - start,
+        )
+        self.last_result = result
+        return result
+
+    # -- stages ------------------------------------------------------------
+
+    def _select_tau(
+        self, src: EdgeChunkSource, stats: SourceStats, k: int
+    ) -> tuple[float, int]:
+        """Largest grid ``tau`` whose projected footprint fits the budget.
+
+        The per-tau column-entry counts (2 per low/low edge, 1 per mixed
+        edge) are accumulated chunk by chunk — the streaming equivalent
+        of :func:`~repro.core.memory_model.pruned_column_entries`.
+        """
+        taus = np.asarray(sorted(self.tau_grid), dtype=np.float64)
+        thresholds = taus * stats.mean_degree
+        # (t, n) high-degree masks: one row per candidate tau.
+        high = stats.degrees[None, :] > thresholds[:, None]
+        entries = np.zeros(taus.size, dtype=np.int64)
+        for chunk in src:
+            hu = high[:, chunk.pairs[:, 0]]
+            hv = high[:, chunk.pairs[:, 1]]
+            low_low = (~hu & ~hv).sum(axis=1)
+            mixed = (hu ^ hv).sum(axis=1)
+            entries += 2 * low_low + mixed
+        footprints = [
+            hep_memory_bytes_from_entries(
+                count, stats.num_vertices, k, self.id_bytes
+            )
+            for count in entries.tolist()
+        ]
+        return select_from_footprints(
+            taus.tolist(), footprints, self.memory_budget
+        )
+
+    def _split_and_build(
+        self,
+        src: EdgeChunkSource,
+        stats: SourceStats,
+        high: np.ndarray,
+        spill: SpillFile,
+    ) -> CsrGraph:
+        """Splitting pass: h2h chunks to disk, kept chunks into the CSR."""
+        kept_pairs: list[np.ndarray] = []
+        kept_eids: list[np.ndarray] = []
+        for chunk in src:
+            hu = high[chunk.pairs[:, 0]]
+            hv = high[chunk.pairs[:, 1]]
+            h2h = hu & hv
+            spill.append(chunk.pairs[h2h], chunk.eids[h2h])
+            keep = ~h2h
+            if keep.any():
+                kept_pairs.append(chunk.pairs[keep])
+                kept_eids.append(chunk.eids[keep])
+        if kept_pairs:
+            pairs = np.vstack(kept_pairs)
+            eids = np.concatenate(kept_eids)
+        else:
+            pairs = np.empty((0, 2), dtype=np.int64)
+            eids = np.empty(0, dtype=np.int64)
+        return CsrGraph.from_arrays(
+            num_vertices=stats.num_vertices,
+            pairs=pairs,
+            eids=eids,
+            degrees=stats.degrees,
+            high_mask=high,
+            num_edges_total=stats.num_edges,
+        )
+
+    def _stream_spill(
+        self,
+        spill: SpillFile,
+        stats: SourceStats,
+        k: int,
+        phase_one,
+        parts: np.ndarray,
+    ) -> np.ndarray:
+        """Phase two: informed HDRF over the spilled h2h chunks."""
+        capacity = phase_two_capacity(
+            stats.num_edges, k, self.alpha, phase_one.loads
+        )
+        state = StreamingState.informed_arrays(
+            stats.num_vertices,
+            stats.degrees,
+            k,
+            capacity,
+            replicas=phase_one.secondary,
+            loads=phase_one.loads,
+        )
+        stream_chunks_through_hdrf(
+            state,
+            spill.chunks(self.chunk_size),
+            parts,
+            lam=self.lam,
+            eps=self.eps,
+            buffer_size=self.buffer_size,
+        )
+        return state.loads
+
+    def _metrics_pass(
+        self,
+        src: EdgeChunkSource,
+        stats: SourceStats,
+        k: int,
+        parts: np.ndarray,
+    ) -> tuple[float, float]:
+        """Chunked replication factor + edge balance (alpha)."""
+        cover = np.zeros((k, stats.num_vertices), dtype=bool)
+        for chunk in src:
+            p = parts[chunk.eids]
+            cover[p, chunk.pairs[:, 0]] = True
+            cover[p, chunk.pairs[:, 1]] = True
+        covered = int((stats.degrees > 0).sum())
+        rf = float(cover.sum() / covered) if covered else 0.0
+        sizes = np.bincount(parts[parts >= 0], minlength=k)
+        balance = float(sizes.max() / (stats.num_edges / k))
+        return rf, balance

@@ -1,0 +1,308 @@
+"""Chunked edge sources: bounded-memory iteration over edge streams.
+
+Every source yields :class:`EdgeChunk` blocks of at most ``chunk_size``
+edges and can be iterated multiple times (the out-of-core pipeline makes
+one counting pass and one splitting pass).  Edge ids are the stream
+positions, which for canonical input match the canonical ids a full
+in-memory :class:`~repro.graph.edgelist.Graph` would assign — the basis
+of the out-of-core ≡ in-memory equivalence property.
+
+File sources assume *canonical* input (no self-loops, no duplicate
+undirected edges) — exactly what :func:`repro.graph.edgelist.
+write_text_edgelist` / ``write_binary_edgelist`` and the CLI's
+``datasets --export`` produce.  Self-loops are detected per chunk and
+rejected; global duplicate detection would require unbounded state and
+is deliberately not attempted.
+
+Chunk order is pluggable:
+
+* in-memory sources accept every :data:`repro.graph.ordering.ORDERINGS`
+  strategy (the full permutation is computed via ``edge_order``),
+* binary file sources additionally support ``"shuffled"`` — a seeded
+  permutation of *chunk* read order plus a within-chunk shuffle, which
+  approximates a random stream order with O(chunk) memory,
+* text file sources are sequential-only (``"natural"``).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphFormatError
+from repro.graph.edgelist import Graph
+from repro.graph.ordering import ORDERINGS, edge_order
+
+__all__ = [
+    "EdgeChunk",
+    "EdgeChunkSource",
+    "InMemoryEdgeSource",
+    "BinaryFileEdgeSource",
+    "TextFileEdgeSource",
+    "open_edge_source",
+    "DEFAULT_CHUNK_SIZE",
+]
+
+#: default number of edges per chunk (1 MiB of binary uint32 pairs)
+DEFAULT_CHUNK_SIZE = 1 << 17
+
+_BINARY_DTYPE = np.dtype("<u4")  # matches repro.graph.edgelist
+
+
+@dataclass(frozen=True)
+class EdgeChunk:
+    """One bounded block of an edge stream."""
+
+    pairs: np.ndarray  # (c, 2) int64 oriented endpoints
+    eids: np.ndarray   # (c,) int64 canonical edge ids
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.pairs.shape[0])
+
+
+class EdgeChunkSource(abc.ABC):
+    """Restartable iterable of :class:`EdgeChunk` blocks."""
+
+    chunk_size: int
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[EdgeChunk]:
+        """Yield the stream from the beginning (restartable)."""
+
+    @property
+    def num_edges(self) -> int | None:
+        """Total edge count if knowable without a pass, else ``None``."""
+        return None
+
+    @property
+    def num_vertices(self) -> int | None:
+        """Vertex-universe size if known upfront, else ``None``.
+
+        File sources return ``None`` (the counting pass derives
+        ``max id + 1``, matching what ``read_*_edgelist`` would assign);
+        in-memory sources report the graph's universe so trailing
+        isolated vertices keep the same mean degree as the in-memory
+        path.
+        """
+        return None
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+def _check_chunk_size(chunk_size: int) -> int:
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return int(chunk_size)
+
+
+class InMemoryEdgeSource(EdgeChunkSource):
+    """Chunked view of an already-loaded :class:`Graph`.
+
+    ``order`` is any :data:`~repro.graph.ordering.ORDERINGS` strategy;
+    the permutation is realized through :func:`~repro.graph.ordering.
+    edge_order`, so "degree-aware" chunk orders come for free.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        order: str = "natural",
+        seed: int = 0,
+    ) -> None:
+        if order not in ORDERINGS:
+            raise ConfigurationError(
+                f"unknown ordering {order!r}; available: {', '.join(ORDERINGS)}"
+            )
+        self.graph = graph
+        self.chunk_size = _check_chunk_size(chunk_size)
+        self.order = order
+        self.seed = seed
+        self._perm = edge_order(graph, order, seed=seed)
+
+    def __iter__(self) -> Iterator[EdgeChunk]:
+        edges = self.graph.edges
+        perm = self._perm
+        for start in range(0, perm.size, self.chunk_size):
+            ids = perm[start : start + self.chunk_size]
+            yield EdgeChunk(pairs=edges[ids], eids=ids)
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    def describe(self) -> str:
+        name = self.graph.name or "graph"
+        return f"in-memory {name} ({self.order} order)"
+
+
+class BinaryFileEdgeSource(EdgeChunkSource):
+    """Chunked reader over a binary uint32 edge list on disk.
+
+    The file format is the paper's (and ``write_binary_edgelist``'s):
+    flat little-endian uint32 pairs.  Each chunk is one bounded
+    ``np.fromfile`` read; ``order="shuffled"`` permutes the chunk read
+    order (seekable) and shuffles within each chunk.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        order: str = "natural",
+        seed: int = 0,
+    ) -> None:
+        if order not in ("natural", "shuffled"):
+            raise ConfigurationError(
+                f"binary file sources support 'natural' or 'shuffled' order, "
+                f"got {order!r}"
+            )
+        self.path = Path(path)
+        self.chunk_size = _check_chunk_size(chunk_size)
+        self.order = order
+        self.seed = seed
+        size = self.path.stat().st_size
+        if size % 8 != 0:
+            raise GraphFormatError(
+                f"{path}: binary edge list length {size} is not a multiple of 8"
+            )
+        self._num_edges = size // 8
+
+    def __iter__(self) -> Iterator[EdgeChunk]:
+        num_chunks = -(-self._num_edges // self.chunk_size) if self._num_edges else 0
+        chunk_ids = np.arange(num_chunks)
+        rng = None
+        if self.order == "shuffled":
+            rng = np.random.default_rng(self.seed)
+            rng.shuffle(chunk_ids)
+        with open(self.path, "rb") as fh:
+            for c in chunk_ids.tolist():
+                start = c * self.chunk_size
+                count = min(self.chunk_size, self._num_edges - start)
+                fh.seek(start * 8)
+                flat = np.fromfile(fh, dtype=_BINARY_DTYPE, count=count * 2)
+                pairs = flat.reshape(-1, 2).astype(np.int64)
+                eids = np.arange(start, start + count, dtype=np.int64)
+                if rng is not None:
+                    inner = rng.permutation(count)
+                    pairs, eids = pairs[inner], eids[inner]
+                _reject_self_loops(pairs, self.path)
+                yield EdgeChunk(pairs=pairs, eids=eids)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def describe(self) -> str:
+        return f"binary file {self.path} ({self.order} order)"
+
+
+class TextFileEdgeSource(EdgeChunkSource):
+    """Chunked reader over a ``u v``-per-line text edge list.
+
+    Lines are parsed lazily; ``#``-prefixed lines and blanks are skipped.
+    Edge ids number the *edges* (not the lines), matching what
+    :func:`~repro.graph.edgelist.read_text_edgelist` would assign.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> None:
+        self.path = Path(path)
+        self.chunk_size = _check_chunk_size(chunk_size)
+
+    def __iter__(self) -> Iterator[EdgeChunk]:
+        buf: list[tuple[int, int]] = []
+        next_eid = 0
+        with open(self.path, "r", encoding="ascii") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                fields = line.split()
+                if len(fields) != 2:
+                    raise GraphFormatError(
+                        f"{self.path}:{lineno}: expected 'u v', got {line!r}"
+                    )
+                try:
+                    buf.append((int(fields[0]), int(fields[1])))
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{self.path}:{lineno}: non-integer id"
+                    ) from exc
+                if len(buf) >= self.chunk_size:
+                    yield self._emit(buf, next_eid)
+                    next_eid += len(buf)
+                    buf = []
+        if buf:
+            yield self._emit(buf, next_eid)
+
+    def _emit(self, buf: list[tuple[int, int]], first_eid: int) -> EdgeChunk:
+        pairs = np.asarray(buf, dtype=np.int64).reshape(-1, 2)
+        _reject_self_loops(pairs, self.path)
+        return EdgeChunk(
+            pairs=pairs,
+            eids=np.arange(first_eid, first_eid + pairs.shape[0], dtype=np.int64),
+        )
+
+    def describe(self) -> str:
+        return f"text file {self.path}"
+
+
+def _reject_self_loops(pairs: np.ndarray, path: Path) -> None:
+    if pairs.size and (pairs[:, 0] == pairs[:, 1]).any():
+        raise GraphFormatError(
+            f"{path}: self-loop in edge stream — chunked sources require "
+            f"canonical input (see repro.graph.edgelist.canonical_edges)"
+        )
+
+
+def open_edge_source(
+    source: "str | os.PathLike | Graph | EdgeChunkSource",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    order: str = "natural",
+    seed: int = 0,
+) -> EdgeChunkSource:
+    """One front door for every edge-stream shape.
+
+    * an :class:`EdgeChunkSource` passes through unchanged,
+    * a :class:`Graph` becomes an :class:`InMemoryEdgeSource`,
+    * a Table 3 dataset name is generated then wrapped in-memory,
+    * a ``.bin``/``.edges``/``.bel`` path becomes a
+      :class:`BinaryFileEdgeSource`, any other existing path a
+      :class:`TextFileEdgeSource`.
+    """
+    if isinstance(source, EdgeChunkSource):
+        return source
+    if isinstance(source, Graph):
+        return InMemoryEdgeSource(source, chunk_size, order=order, seed=seed)
+    from repro.graph import datasets
+
+    text = str(source)
+    if text.upper() in datasets.available():
+        graph = datasets.load(text)
+        return InMemoryEdgeSource(graph, chunk_size, order=order, seed=seed)
+    path = Path(source)
+    if not path.exists():
+        raise ConfigurationError(
+            f"{text!r} is neither a dataset name "
+            f"({', '.join(datasets.available())}) nor a file"
+        )
+    if path.suffix in (".bin", ".edges", ".bel"):
+        return BinaryFileEdgeSource(path, chunk_size, order=order, seed=seed)
+    if order != "natural":
+        raise ConfigurationError(
+            "text file sources are sequential-only (order='natural')"
+        )
+    return TextFileEdgeSource(path, chunk_size)

@@ -1,0 +1,174 @@
+"""Disk-backed spill file for h2h edges.
+
+The paper's HEP writes the high/high edges to an *external memory edge
+file* at graph-building time and streams them back in phase two.  The
+seed implementation kept that buffer in RAM (:class:`ExternalEdges`);
+:class:`SpillFile` is the honest version: NE++'s build pass *appends*
+h2h chunks here, and the streaming phase reads them back in bounded
+chunks — the full h2h edge set never resides in memory.
+
+On-disk format: flat little-endian int64 triples ``(u, v, eid)``.  The
+eid travels with the pair so the streamed assignments land in the same
+canonical per-edge slots the in-memory path uses, which is what makes
+out-of-core HEP bit-identical to in-memory HEP.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+__all__ = ["SpillFile"]
+
+_RECORD_DTYPE = np.dtype("<i8")
+_RECORD_WIDTH = 3  # u, v, eid
+_RECORD_BYTES = _RECORD_DTYPE.itemsize * _RECORD_WIDTH
+
+#: default read-back chunk size (edges per block)
+DEFAULT_SPILL_CHUNK = 1 << 16
+
+
+class SpillFile:
+    """Append-only on-disk edge buffer with chunked read-back.
+
+    Parameters
+    ----------
+    dir:
+        Directory for the backing file (a fresh temporary file is created
+        there; defaults to the system temp dir).
+    path:
+        Explicit backing-file path.  When given, the file is created (or
+        truncated) at that location instead of a temporary name.
+    delete:
+        Remove the backing file on :meth:`close` / context-manager exit.
+
+    The object is a context manager: leaving the ``with`` block — also on
+    an exception — closes and (by default) deletes the backing file.
+    Iteration (:meth:`chunks`) may be repeated and interleaved with
+    further :meth:`append` calls; each ``chunks()`` call re-reads from the
+    start of the file.
+    """
+
+    def __init__(
+        self,
+        dir: str | os.PathLike | None = None,
+        path: str | os.PathLike | None = None,
+        delete: bool = True,
+    ) -> None:
+        if path is not None:
+            self.path = Path(path)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "wb")
+        else:
+            if dir is not None:
+                Path(dir).mkdir(parents=True, exist_ok=True)
+            fd, name = tempfile.mkstemp(
+                prefix="h2h-spill-", suffix=".bin", dir=dir
+            )
+            self.path = Path(name)
+            self._fh = os.fdopen(fd, "wb")
+        self.delete = delete
+        self._num_edges = 0
+        self._closed = False
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, pairs: np.ndarray, eids: np.ndarray) -> int:
+        """Append a block of ``(u, v)`` pairs with their canonical edge ids.
+
+        Returns the number of edges appended (zero-size blocks are a
+        no-op, so callers can feed every chunk unconditionally).
+        """
+        if self._closed:
+            raise ValueError("append() on a closed SpillFile")
+        pairs = np.ascontiguousarray(pairs, dtype=np.int64).reshape(-1, 2)
+        eids = np.ascontiguousarray(eids, dtype=np.int64)
+        if eids.shape != (pairs.shape[0],):
+            raise GraphFormatError("eids must parallel pairs")
+        if pairs.shape[0] == 0:
+            return 0
+        records = np.empty((pairs.shape[0], _RECORD_WIDTH), dtype=_RECORD_DTYPE)
+        records[:, :2] = pairs
+        records[:, 2] = eids
+        records.tofile(self._fh)
+        self._num_edges += pairs.shape[0]
+        return pairs.shape[0]
+
+    # -- reading -----------------------------------------------------------
+
+    def chunks(
+        self, chunk_size: int = DEFAULT_SPILL_CHUNK
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(pairs, eids)`` blocks of at most ``chunk_size`` edges.
+
+        Appended data is flushed first, so everything written before the
+        call is visible.  The write handle stays open — appending after
+        (or between) iterations is allowed.
+        """
+        if self._closed:
+            raise ValueError("chunks() on a closed SpillFile")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._fh.flush()
+        total = self._num_edges
+        with open(self.path, "rb") as reader:
+            done = 0
+            while done < total:
+                count = min(chunk_size, total - done)
+                flat = np.fromfile(
+                    reader, dtype=_RECORD_DTYPE, count=count * _RECORD_WIDTH
+                )
+                if flat.size != count * _RECORD_WIDTH:
+                    raise GraphFormatError(
+                        f"{self.path}: spill file truncated "
+                        f"({done + flat.size // _RECORD_WIDTH} of {total} edges)"
+                    )
+                records = flat.reshape(-1, _RECORD_WIDTH).astype(np.int64)
+                yield records[:, :2], records[:, 2]
+                done += count
+
+    def __len__(self) -> int:
+        """Number of edges spilled so far."""
+        return self._num_edges
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes the spill occupies on disk (flushed + buffered)."""
+        return self._num_edges * _RECORD_BYTES
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the write handle; remove the file when ``delete`` is set."""
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.close()
+        if self.delete:
+            try:
+                self.path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SpillFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"SpillFile({str(self.path)!r}, edges={self._num_edges:,}, "
+            f"bytes={self.nbytes:,}, {state})"
+        )

@@ -1,0 +1,10 @@
+"""Hypothesis strategies for property-based tests.
+
+Re-exports the graph strategies for convenience::
+
+    from strategies import edge_lists, graphs, power_law_graphs
+"""
+
+from strategies.graphs import edge_lists, graphs, power_law_graphs
+
+__all__ = ["edge_lists", "graphs", "power_law_graphs"]

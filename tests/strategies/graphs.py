@@ -1,0 +1,104 @@
+"""Hypothesis strategies producing random edge lists and graphs.
+
+Three layers:
+
+* :func:`edge_lists` — raw ``(m, 2)`` integer arrays, possibly with
+  self-loops and duplicates (for exercising canonicalization),
+* :func:`graphs` — canonical :class:`~repro.graph.edgelist.Graph`
+  objects with at least ``min_edges`` surviving edges,
+* :func:`power_law_graphs` — seeded Chung-Lu graphs whose skew puts
+  real edge mass on both sides of HEP's ``tau`` threshold.
+
+Every strategy keeps the sizes small — these feed equivalence
+properties that run two full partitioner pipelines per example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.graph.edgelist import Graph
+
+__all__ = ["edge_lists", "graphs", "power_law_graphs"]
+
+
+@st.composite
+def edge_lists(
+    draw,
+    min_edges: int = 0,
+    max_edges: int = 60,
+    max_vertices: int = 24,
+) -> np.ndarray:
+    """Raw oriented edge arrays — self-loops and duplicates allowed."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=min_edges, max_value=max_edges))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+
+
+@st.composite
+def graphs(
+    draw,
+    min_edges: int = 1,
+    max_edges: int = 60,
+    max_vertices: int = 24,
+) -> Graph:
+    """Canonical graphs with at least ``min_edges`` edges.
+
+    Built through :meth:`Graph.from_edges`, so the result carries the
+    same dedup/self-loop semantics every partitioner expects.  The
+    vertex universe may exceed the highest endpoint (isolated trailing
+    vertices are legal and exercise the mean-degree bookkeeping).
+    """
+    raw = draw(
+        edge_lists(
+            min_edges=min_edges, max_edges=max_edges, max_vertices=max_vertices
+        )
+    )
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    if raw.size:
+        n = max(n, int(raw.max()) + 1)
+    graph = Graph.from_edges(raw, num_vertices=n)
+    if graph.num_edges < min_edges:
+        # Canonicalization collapsed too much; top up with a simple path
+        # over distinct vertices (always canonical, no duplicates).
+        need = min_edges - graph.num_edges
+        n = max(n, need + 1)
+        path = np.column_stack(
+            [np.arange(need, dtype=np.int64), np.arange(1, need + 1, dtype=np.int64)]
+        )
+        merged = np.vstack([graph.edges, path]) if graph.num_edges else path
+        graph = Graph.from_edges(merged, num_vertices=n)
+    return graph
+
+
+@st.composite
+def power_law_graphs(
+    draw,
+    max_vertices: int = 120,
+) -> Graph:
+    """Seeded Chung-Lu power-law graphs (HEP's home turf).
+
+    Degree skew guarantees a non-trivial high/low split for small tau,
+    so h2h spill paths actually execute.
+    """
+    n = draw(st.integers(min_value=20, max_value=max_vertices))
+    mean_degree = draw(st.integers(min_value=2, max_value=8))
+    exponent = draw(
+        st.floats(min_value=1.8, max_value=2.8, allow_nan=False)
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return generators.chung_lu(
+        n, mean_degree, exponent=exponent, seed=seed, name="hyp-cl"
+    )

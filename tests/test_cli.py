@@ -92,3 +92,120 @@ class TestOtherCommands:
         rc = main(["experiment", "table3"])
         assert rc == 0
         assert "Table 3" in capsys.readouterr().out
+
+
+class TestOutOfCore:
+    def test_partition_out_of_core_file(self, small_graph_file, capsys):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
+             "--tau", "1.0", "--chunk-size", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "out-of-core" in out
+        assert "replication factor" in out
+
+    def test_partition_out_of_core_matches_in_memory(
+        self, small_graph_file, tmp_path, capsys
+    ):
+        in_mem = tmp_path / "a.txt"
+        ooc = tmp_path / "b.txt"
+        assert main(
+            ["partition", str(small_graph_file), "--k", "2", "--tau", "1.0",
+             "--output", str(in_mem)]
+        ) == 0
+        assert main(
+            ["partition", str(small_graph_file), "--k", "2", "--tau", "1.0",
+             "--out-of-core", "--chunk-size", "2", "--output", str(ooc)]
+        ) == 0
+        assert np.array_equal(
+            np.loadtxt(in_mem, dtype=int), np.loadtxt(ooc, dtype=int)
+        )
+
+    def test_partition_memory_budget(self, capsys):
+        rc = main(
+            ["partition", "LJ", "--k", "4", "--out-of-core",
+             "--memory-budget", "1000000"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "memory budget" in out
+
+    def test_out_of_core_buffer_and_spill_dir(
+        self, small_graph_file, tmp_path, capsys
+    ):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
+             "--tau", "0.5", "--buffer-size", "4",
+             "--spill-dir", str(tmp_path / "spill")]
+        )
+        assert rc == 0
+        assert "buffer size" in capsys.readouterr().out
+
+    def test_out_of_core_rejects_other_methods(self, small_graph_file, capsys):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
+             "--method", "DBH"]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDatasetsExport:
+    def test_export_binary_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "lj.bin"
+        rc = main(["datasets", "--export", "LJ", "--format", "binary",
+                   "--output", str(out)])
+        assert rc == 0
+        from repro.graph import datasets, read_binary_edgelist
+
+        expected = datasets.load("LJ")
+        got = read_binary_edgelist(out)
+        assert np.array_equal(got.edges, expected.edges)
+
+    def test_export_text_feeds_out_of_core(self, tmp_path, capsys):
+        out = tmp_path / "lj.txt"
+        assert main(["datasets", "--export", "LJ", "--format", "text",
+                     "--output", str(out)]) == 0
+        rc = main(["partition", str(out), "--k", "4", "--out-of-core",
+                   "--tau", "1.0"])
+        assert rc == 0
+
+    def test_export_unknown_dataset_errors(self, capsys):
+        rc = main(["datasets", "--export", "NOPE"])
+        assert rc == 1
+
+    def test_memory_budget_requires_out_of_core(self, small_graph_file, capsys):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2",
+             "--memory-budget", "1000000"]
+        )
+        assert rc == 1
+        assert "--out-of-core" in capsys.readouterr().err
+
+    def test_shards_dir_rejected_out_of_core(
+        self, small_graph_file, tmp_path, capsys
+    ):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
+             "--shards-dir", str(tmp_path / "shards")]
+        )
+        assert rc == 1
+        assert "shards" in capsys.readouterr().err
+
+    def test_in_memory_hep_accepts_stream_params(
+        self, small_graph_file, tmp_path, capsys
+    ):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--tau", "0.5",
+             "--buffer-size", "4", "--spill-dir", str(tmp_path / "spill")]
+        )
+        assert rc == 0
+
+    def test_stream_params_rejected_for_non_hep(self, small_graph_file, capsys):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2",
+             "--method", "DBH", "--buffer-size", "4"]
+        )
+        assert rc == 1
+        assert "HEP" in capsys.readouterr().err

@@ -1,0 +1,147 @@
+"""Chunked edge sources: bounded blocks, restartability, orderings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GraphFormatError
+from repro.graph import Graph, write_binary_edgelist, write_text_edgelist
+from repro.stream import (
+    BinaryFileEdgeSource,
+    InMemoryEdgeSource,
+    TextFileEdgeSource,
+    open_edge_source,
+)
+
+
+@pytest.fixture()
+def graph():
+    return Graph.from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3)], num_vertices=6
+    )
+
+
+def _collect(source):
+    pairs, eids = [], []
+    for chunk in source:
+        assert chunk.num_edges <= source.chunk_size
+        pairs.append(chunk.pairs)
+        eids.append(chunk.eids)
+    return np.vstack(pairs), np.concatenate(eids)
+
+
+class TestInMemorySource:
+    @pytest.mark.parametrize("chunk_size", [1, 2, 7, 100])
+    def test_natural_order_covers_stream(self, graph, chunk_size):
+        src = InMemoryEdgeSource(graph, chunk_size)
+        pairs, eids = _collect(src)
+        assert np.array_equal(pairs, graph.edges)
+        assert np.array_equal(eids, np.arange(graph.num_edges))
+
+    def test_restartable(self, graph):
+        src = InMemoryEdgeSource(graph, 3)
+        a = _collect(src)
+        b = _collect(src)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    @pytest.mark.parametrize("order", ["random", "degree", "bfs", "adversarial"])
+    def test_orderings_permute_but_cover(self, graph, order):
+        src = InMemoryEdgeSource(graph, 2, order=order, seed=3)
+        pairs, eids = _collect(src)
+        assert sorted(eids.tolist()) == list(range(graph.num_edges))
+        # Every yielded pair is the edge its eid names.
+        assert np.array_equal(pairs, graph.edges[eids])
+
+    def test_universe_reported(self, graph):
+        src = InMemoryEdgeSource(graph, 4)
+        assert src.num_vertices == 6
+        assert src.num_edges == graph.num_edges
+
+    def test_unknown_order_rejected(self, graph):
+        with pytest.raises(ConfigurationError):
+            InMemoryEdgeSource(graph, 4, order="sorted-by-vibes")
+
+    def test_zero_chunk_size_rejected(self, graph):
+        with pytest.raises(ConfigurationError):
+            InMemoryEdgeSource(graph, 0)
+
+
+class TestFileSources:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 1000])
+    def test_binary_matches_writer(self, graph, tmp_path, chunk_size):
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        src = BinaryFileEdgeSource(path, chunk_size)
+        pairs, eids = _collect(src)
+        assert np.array_equal(pairs, graph.edges)
+        assert np.array_equal(eids, np.arange(graph.num_edges))
+        assert src.num_edges == graph.num_edges
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 1000])
+    def test_text_matches_writer(self, graph, tmp_path, chunk_size):
+        path = tmp_path / "g.txt"
+        write_text_edgelist(graph, path)
+        pairs, eids = _collect(TextFileEdgeSource(path, chunk_size))
+        assert np.array_equal(pairs, graph.edges)
+        assert np.array_equal(eids, np.arange(graph.num_edges))
+
+    def test_text_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n0 1\n\n1 2\n# trailing\n2 0\n")
+        pairs, eids = _collect(TextFileEdgeSource(path, 2))
+        assert pairs.tolist() == [[0, 1], [1, 2], [2, 0]]
+        assert eids.tolist() == [0, 1, 2]
+
+    def test_binary_shuffled_covers_stream(self, graph, tmp_path):
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        src = BinaryFileEdgeSource(path, 2, order="shuffled", seed=1)
+        pairs, eids = _collect(src)
+        assert sorted(eids.tolist()) == list(range(graph.num_edges))
+        assert np.array_equal(pairs, graph.edges[eids])
+
+    def test_self_loop_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n2 2\n")
+        with pytest.raises(GraphFormatError):
+            _collect(TextFileEdgeSource(path, 10))
+
+    def test_truncated_binary_rejected(self, tmp_path):
+        path = tmp_path / "g.bin"
+        path.write_bytes(b"\x00" * 12)  # not a multiple of 8
+        with pytest.raises(GraphFormatError):
+            BinaryFileEdgeSource(path, 10)
+
+
+class TestOpenEdgeSource:
+    def test_graph_passthrough(self, graph):
+        src = open_edge_source(graph, 4)
+        assert isinstance(src, InMemoryEdgeSource)
+
+    def test_source_passthrough(self, graph):
+        src = InMemoryEdgeSource(graph, 4)
+        assert open_edge_source(src) is src
+
+    def test_dataset_name(self):
+        src = open_edge_source("LJ", 1024)
+        assert isinstance(src, InMemoryEdgeSource)
+        assert src.num_edges > 0
+
+    def test_binary_by_suffix(self, graph, tmp_path):
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        assert isinstance(open_edge_source(path, 4), BinaryFileEdgeSource)
+
+    def test_text_fallback(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_text_edgelist(graph, path)
+        assert isinstance(open_edge_source(path, 4), TextFileEdgeSource)
+
+    def test_missing_path_errors(self):
+        with pytest.raises(ConfigurationError):
+            open_edge_source("/nonexistent/elsewhere.txt", 4)
+
+    def test_text_reorder_rejected(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_text_edgelist(graph, path)
+        with pytest.raises(ConfigurationError):
+            open_edge_source(path, 4, order="shuffled")

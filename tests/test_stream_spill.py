@@ -1,0 +1,126 @@
+"""SpillFile: the disk-backed h2h edge buffer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.stream import SpillFile
+
+
+def _block(edges):
+    arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    return arr, np.arange(arr.shape[0], dtype=np.int64)
+
+
+def _drain(spill, chunk_size=1000):
+    pairs, eids = [], []
+    for p, e in spill.chunks(chunk_size):
+        pairs.append(p)
+        eids.append(e)
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.vstack(pairs), np.concatenate(eids)
+
+
+class TestAppendIterate:
+    def test_roundtrip(self, tmp_path):
+        pairs, eids = _block([(0, 1), (2, 3), (4, 5)])
+        with SpillFile(dir=tmp_path) as spill:
+            assert spill.append(pairs, eids) == 3
+            got_pairs, got_eids = _drain(spill)
+            assert np.array_equal(got_pairs, pairs)
+            assert np.array_equal(got_eids, eids)
+
+    def test_chunk_boundaries(self, tmp_path):
+        pairs = np.arange(20, dtype=np.int64).reshape(-1, 2)
+        eids = np.arange(10, dtype=np.int64) * 7
+        with SpillFile(dir=tmp_path) as spill:
+            spill.append(pairs, eids)
+            for chunk_size in (1, 3, 10, 99):
+                got_pairs, got_eids = _drain(spill, chunk_size)
+                assert np.array_equal(got_pairs, pairs)
+                assert np.array_equal(got_eids, eids)
+                sizes = [p.shape[0] for p, _ in spill.chunks(chunk_size)]
+                assert all(s <= chunk_size for s in sizes)
+
+    def test_len_and_nbytes(self, tmp_path):
+        with SpillFile(dir=tmp_path) as spill:
+            assert len(spill) == 0 and spill.nbytes == 0
+            spill.append(*_block([(1, 2)]))
+            spill.append(*_block([(3, 4), (5, 6)]))
+            assert len(spill) == 3
+            assert spill.nbytes == 3 * 3 * 8
+
+    def test_empty_append_is_noop(self, tmp_path):
+        with SpillFile(dir=tmp_path) as spill:
+            assert spill.append(np.empty((0, 2)), np.empty(0)) == 0
+            assert len(spill) == 0
+
+    def test_mismatched_eids_rejected(self, tmp_path):
+        with SpillFile(dir=tmp_path) as spill:
+            with pytest.raises(GraphFormatError):
+                spill.append(np.zeros((2, 2)), np.zeros(3))
+
+
+class TestEdgeCases:
+    def test_empty_spill_yields_nothing(self, tmp_path):
+        with SpillFile(dir=tmp_path) as spill:
+            assert list(spill.chunks()) == []
+            assert len(spill) == 0
+
+    def test_reopened_after_iteration(self, tmp_path):
+        """Appending after a full read-back must extend later reads."""
+        with SpillFile(dir=tmp_path) as spill:
+            spill.append(*_block([(0, 1)]))
+            first, _ = _drain(spill)
+            assert first.shape[0] == 1
+            spill.append(np.asarray([(8, 9)]), np.asarray([5]))
+            again_pairs, again_eids = _drain(spill)
+            assert again_pairs.shape[0] == 2
+            assert again_eids.tolist() == [0, 5]
+
+    def test_iterate_twice(self, tmp_path):
+        with SpillFile(dir=tmp_path) as spill:
+            spill.append(*_block([(0, 1), (2, 3)]))
+            a, _ = _drain(spill)
+            b, _ = _drain(spill)
+            assert np.array_equal(a, b)
+
+    def test_cleanup_on_exception(self, tmp_path):
+        """The context manager removes the file even on an error path."""
+        with pytest.raises(RuntimeError):
+            with SpillFile(dir=tmp_path) as spill:
+                spill.append(*_block([(0, 1)]))
+                path = spill.path
+                raise RuntimeError("mid-spill failure")
+        assert not path.exists()
+        assert spill.closed
+
+    def test_keep_on_disk(self, tmp_path):
+        with SpillFile(dir=tmp_path, delete=False) as spill:
+            spill.append(*_block([(0, 1)]))
+            path = spill.path
+        assert path.exists()
+        assert path.stat().st_size == 3 * 8
+
+    def test_explicit_path(self, tmp_path):
+        target = tmp_path / "nested" / "h2h.bin"
+        with SpillFile(path=target) as spill:
+            spill.append(*_block([(0, 1)]))
+            assert spill.path == target
+            assert target.exists()
+        assert not target.exists()  # delete defaults to True
+
+    def test_closed_spill_rejects_use(self, tmp_path):
+        spill = SpillFile(dir=tmp_path)
+        spill.close()
+        with pytest.raises(ValueError):
+            spill.append(*_block([(0, 1)]))
+        with pytest.raises(ValueError):
+            list(spill.chunks())
+
+    def test_double_close_is_safe(self, tmp_path):
+        spill = SpillFile(dir=tmp_path)
+        spill.close()
+        spill.close()
+        assert spill.closed
