@@ -1,0 +1,12 @@
+"""Bench: regenerate the out-of-core baseline comparison."""
+
+from repro.experiments import out_of_core
+
+
+def bench_out_of_core_baselines(benchmark, record_experiment):
+    result = benchmark.pedantic(out_of_core.run, rounds=1, iterations=1)
+    record_experiment(result)
+    assert result.rows
+    # Natural-order streaming must reproduce the in-memory runs bit for
+    # bit — the subsystem's defining property (HEP row included).
+    assert all(r["identical"] for r in result.rows)

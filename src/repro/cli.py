@@ -3,11 +3,15 @@
 Subcommands mirror the workflows a user of the original C++ system has:
 
 * ``partition`` — partition an edge-list file (or a named stand-in
-  dataset) and write one partition id per edge,
+  dataset) and write one partition id per edge; ``--out-of-core`` runs
+  HEP *or any streaming baseline* (``--algo``) through the chunked
+  pipeline so edge files are never fully loaded,
 * ``compare``   — run several partitioners on one graph side by side,
 * ``select-tau`` — pick the largest tau fitting a memory budget (§4.4),
+* ``extsort``   — rewrite an edge file in degree order with bounded
+  memory (external merge sort),
 * ``experiment`` — regenerate one of the paper's tables/figures,
-* ``datasets``  — list the Table 3 stand-ins.
+* ``datasets``  — list the Table 3 stand-ins or export one to disk.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from repro.metrics import (
     replication_factor,
     vertex_balance,
 )
+from repro.stream.extsort import EXTSORT_ORDERS
 from repro.stream.reader import DEFAULT_CHUNK_SIZE
 
 __all__ = ["main", "build_parser"]
@@ -52,21 +57,45 @@ def _load_graph(source: str) -> Graph:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
+    if args.passes is not None and args.method.lower() != "restreaming":
+        raise ReproError("--passes applies only to the Restreaming method")
+    if args.tau is not None and args.method.upper() != "HEP":
+        # HEP-<x> spellings carry their tau in the name; only plain HEP
+        # takes the flag.
+        raise ReproError("--tau applies only to the HEP method "
+                         "(HEP-<tau> names carry their own)")
+    if args.tau is not None and args.memory_budget is not None:
+        raise ReproError("--tau and --memory-budget conflict: the budget "
+                         "exists to select tau (drop one of them)")
+    if args.prefetch < 0:
+        raise ReproError(f"--prefetch must be >= 0, got {args.prefetch}")
     if args.out_of_core:
         return _partition_out_of_core(args)
     if args.memory_budget is not None:
         raise ReproError("--memory-budget requires --out-of-core (the "
                          "in-memory path cannot honor a byte budget)")
+    if args.prefetch:
+        raise ReproError("--prefetch requires --out-of-core (the in-memory "
+                         "path loads the file in one read)")
+    if args.spill_compression is not None:
+        raise ReproError("--spill-compression requires --out-of-core")
     graph = _load_graph(args.graph)
     if args.method.upper() == "HEP":
         partitioner = HepPartitioner(
-            tau=args.tau,
+            tau=10.0 if args.tau is None else args.tau,
             spill_dir=args.spill_dir,
             buffer_size=args.buffer_size,
             chunk_size=args.chunk_size,
         )
     elif args.spill_dir is not None or args.buffer_size is not None:
         raise ReproError("--spill-dir/--buffer-size apply only to HEP")
+    elif args.method.lower() == "restreaming":
+        from repro.partition import RestreamingHdrfPartitioner
+
+        # Only forward --passes when given, so the class default is the
+        # single source of truth.
+        kwargs = {} if args.passes is None else {"passes": args.passes}
+        partitioner = RestreamingHdrfPartitioner(**kwargs)
     else:
         from repro.experiments.common import make_partitioner
 
@@ -95,44 +124,101 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _partition_out_of_core(args: argparse.Namespace) -> int:
-    """Chunked out-of-core HEP (``--out-of-core``): the graph source is
-    handed to the streaming pipeline unopened, so on-disk edge files are
-    never fully loaded."""
-    from repro.stream import OutOfCoreHep
-
-    if args.method.upper() != "HEP":
-        raise ReproError("--out-of-core supports only the HEP method")
+    """Chunked out-of-core partitioning (``--out-of-core``): the graph
+    source is handed to the streaming subsystem unopened, so on-disk
+    edge files are never fully loaded.  ``--algo HEP`` (the default)
+    runs the budgeted HEP pipeline; any streaming baseline name runs
+    through the universal :class:`~repro.stream.driver.
+    StreamingPartitionerDriver`."""
     if args.shards_dir:
         raise ReproError("--shards-dir needs the edge list in memory; "
                          "rerun without --out-of-core to write shards")
-    # An explicit byte budget selects tau from the Section 4.4 grid;
-    # otherwise the --tau flag applies as usual.
-    tau = None if args.memory_budget is not None else args.tau
+    if args.method.upper() == "HEP":
+        return _out_of_core_hep(args)
+    return _out_of_core_baseline(args)
+
+
+def _print_ooc_quality(result, output: str | None) -> None:
+    """Shared tail of the out-of-core reports: quality, timing, output."""
+    print(f"replication factor : {result.replication_factor:.4f}")
+    print(f"edge balance alpha : {result.edge_balance:.4f}")
+    print(f"run-time           : {result.runtime_s:.3f}s")
+    if output:
+        np.savetxt(output, result.parts, fmt="%d")
+        print(f"assignment written : {output}")
+
+
+def _out_of_core_hep(args: argparse.Namespace) -> int:
+    """HEP through :class:`~repro.stream.pipeline.OutOfCoreHep`."""
+    from repro.stream import OutOfCoreHep
+
     pipeline = OutOfCoreHep(
-        tau=tau,
+        tau=args.tau,  # None: the budget (or the 10.0 default) decides
         memory_budget=args.memory_budget,
         chunk_size=args.chunk_size,
         buffer_size=args.buffer_size,
         spill_dir=args.spill_dir,
+        spill_compression=args.spill_compression,
+        prefetch=args.prefetch,
     )
     result = pipeline.partition(args.graph, args.k)
     print(f"partitioner        : HEP-{result.tau:g} (out-of-core)")
     print(f"source             : {args.graph} "
           f"(n={result.num_vertices:,} m={result.num_edges:,})")
     print(f"chunk size         : {result.chunk_size:,} edges")
+    if args.prefetch:
+        print(f"prefetch depth     : {args.prefetch} chunks")
     if result.buffer_size:
         print(f"buffer size        : {result.buffer_size:,} edges")
     if result.projected_memory_bytes is not None:
         print(f"memory budget      : {args.memory_budget:,} bytes "
               f"(projected {result.projected_memory_bytes:,})")
     print(f"h2h edges spilled  : {result.breakdown.num_h2h_edges:,} "
-          f"({result.spill_bytes:,} bytes on disk)")
-    print(f"replication factor : {result.replication_factor:.4f}")
-    print(f"edge balance alpha : {result.edge_balance:.4f}")
-    print(f"run-time           : {result.runtime_s:.3f}s")
-    if args.output:
-        np.savetxt(args.output, result.parts, fmt="%d")
-        print(f"assignment written : {args.output}")
+          f"({result.spill_bytes:,} bytes on disk"
+          + (f", {args.spill_compression}" if args.spill_compression else "")
+          + ")")
+    _print_ooc_quality(result, args.output)
+    return 0
+
+
+def _out_of_core_baseline(args: argparse.Namespace) -> int:
+    """A streaming baseline through the universal out-of-core driver."""
+    from repro.stream import STREAMING_ALGORITHMS, StreamingPartitionerDriver
+
+    known = {name.lower() for name in STREAMING_ALGORITHMS}
+    if args.method.lower() not in known:
+        raise ReproError(
+            f"--out-of-core supports HEP or a streaming baseline "
+            f"({', '.join(STREAMING_ALGORITHMS)}); got {args.method!r}"
+        )
+    if args.memory_budget is not None:
+        raise ReproError("--memory-budget tunes HEP's tau; the streaming "
+                         "baselines have no such knob (their state is "
+                         "O(n + k) by construction)")
+    if args.buffer_size is not None:
+        raise ReproError("--buffer-size applies to HEP's streaming phase")
+    if args.spill_dir is not None or args.spill_compression is not None:
+        raise ReproError("--spill-dir/--spill-compression apply to HEP's "
+                         "h2h spill; the baselines never spill")
+    algo_kwargs = {}
+    if args.passes is not None:
+        algo_kwargs["passes"] = args.passes
+    driver = StreamingPartitionerDriver(
+        args.method,
+        chunk_size=args.chunk_size,
+        prefetch=args.prefetch,
+        **algo_kwargs,
+    )
+    result = driver.partition(args.graph, args.k)
+    print(f"partitioner        : {result.algorithm} (out-of-core)")
+    print(f"source             : {args.graph} "
+          f"(n={result.num_vertices:,} m={result.num_edges:,})")
+    print(f"chunk size         : {result.chunk_size:,} edges")
+    if args.prefetch:
+        print(f"prefetch depth     : {args.prefetch} chunks")
+    if result.passes > 1:
+        print(f"stream passes      : {result.passes}")
+    _print_ooc_quality(result, args.output)
     return 0
 
 
@@ -154,6 +240,22 @@ def _cmd_select_tau(args: argparse.Namespace) -> int:
     tau, projected = select_tau(graph, budget, args.k)
     print(f"\nbudget {budget:,} bytes -> tau={tau:g} "
           f"(projected {projected:,} bytes)")
+    return 0
+
+
+def _cmd_extsort(args: argparse.Namespace) -> int:
+    """External-sort an edge stream into a degree-ordered binary file."""
+    from repro.stream import external_sort_edges
+
+    result = external_sort_edges(
+        args.graph, args.output, order=args.order, chunk_size=args.chunk_size
+    )
+    print(f"sorted             : {args.graph} -> {result.path}")
+    print(f"order              : {result.order}")
+    print(f"edges              : {result.num_edges:,} "
+          f"(universe n={result.num_vertices:,})")
+    print(f"sort runs          : {result.num_runs} "
+          f"({result.run_bytes:,} temp bytes)")
     return 0
 
 
@@ -207,14 +309,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("partition", help="partition a graph's edges")
     p.add_argument("graph", help="dataset name or edge-list file")
     p.add_argument("--k", type=int, default=32, help="number of partitions")
-    p.add_argument("--method", default="HEP",
-                   help=f"HEP or one of {', '.join(PARTITIONER_FACTORIES)}")
-    p.add_argument("--tau", type=float, default=10.0,
-                   help="HEP degree threshold factor")
+    p.add_argument("--method", "--algo", dest="method", default="HEP",
+                   help=f"HEP or one of {', '.join(PARTITIONER_FACTORIES)}; "
+                        "with --out-of-core: HEP, HDRF, Greedy, DBH, Grid "
+                        "or Restreaming")
+    p.add_argument("--tau", type=float, default=None,
+                   help="HEP degree threshold factor (default 10.0)")
     p.add_argument("--output", help="write per-edge partition ids here")
     p.add_argument("--shards-dir", help="write one binary edge list per partition")
     p.add_argument("--out-of-core", action="store_true",
-                   help="partition through the chunked streaming pipeline "
+                   help="partition through the chunked streaming subsystem "
                         "(repro.stream); edge files are never fully loaded")
     p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
                    help="byte budget for HEP's in-memory structures; "
@@ -225,6 +329,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="buffered-scoring window for the streaming phase")
     p.add_argument("--spill-dir", default=None,
                    help="directory for the h2h spill file (default: temp dir)")
+    p.add_argument("--spill-compression", choices=("zlib",), default=None,
+                   help="compress the h2h spill file (zlib frames)")
+    p.add_argument("--prefetch", type=int, default=0, metavar="DEPTH",
+                   help="background-prefetch this many decoded chunks "
+                        "ahead of the consumer (0 = off)")
+    p.add_argument("--passes", type=int, default=None,
+                   help="stream passes for --algo Restreaming (default 3)")
     p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser("compare", help="run several partitioners side by side")
@@ -242,6 +353,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget-kib", type=float, required=True)
     p.add_argument("--k", type=int, default=32)
     p.set_defaults(func=_cmd_select_tau)
+
+    p = sub.add_parser(
+        "extsort",
+        help="rewrite an edge file in degree order with bounded memory",
+    )
+    p.add_argument("graph", help="dataset name or edge-list file")
+    p.add_argument("output", help="binary edge-list file to write")
+    p.add_argument("--order", choices=EXTSORT_ORDERS, default="degree",
+                   help="ordering to realize (degree-derived keys only)")
+    p.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                   help="edges per in-memory sort run")
+    p.set_defaults(func=_cmd_extsort)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("id", help=f"one of: {', '.join(REGISTRY)}")

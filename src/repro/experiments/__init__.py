@@ -13,6 +13,7 @@ from repro.experiments import (
     figure7,
     figure8,
     figure9,
+    out_of_core,
     stream_order,
     table1,
     table2,
@@ -39,6 +40,7 @@ REGISTRY = {
     "ablations": ablations.run,
     "extensions": extensions.run,
     "stream_order": stream_order.run,
+    "out_of_core": out_of_core.run,
 }
 
 __all__ = ["REGISTRY", "ExperimentResult"]

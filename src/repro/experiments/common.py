@@ -30,6 +30,7 @@ from repro.partition import (
     NePartitioner,
     Partitioner,
     RandomStreamPartitioner,
+    RestreamingHdrfPartitioner,
     SnePartitioner,
 )
 from repro.core import HepPartitioner, NePlusPlusPartitioner
@@ -86,6 +87,7 @@ PARTITIONER_FACTORIES: dict[str, type | None] = {
     "Grid": GridPartitioner,
     "ADWISE": AdwisePartitioner,
     "Random": RandomStreamPartitioner,
+    "Restreaming": RestreamingHdrfPartitioner,
     "NE": NePartitioner,
     "NE++": NePlusPlusPartitioner,
     "SNE": SnePartitioner,

@@ -60,6 +60,7 @@ class AdwisePartitioner(Partitioner):
         self.name = "ADWISE"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Stream the edges through the adaptive-window ADWISE scorer."""
         self._require_k(graph, k)
         capacity = capacity_bound(graph.num_edges, k, self.alpha)
         state = StreamingState.fresh(graph, k, capacity, use_exact_degrees=True)
@@ -73,6 +74,7 @@ class AdwisePartitioner(Partitioner):
         cursor = 0
 
         def rescore(e: int) -> None:
+            """Re-evaluate the best achievable score of every buffered edge."""
             u, v = int(edges[e, 0]), int(edges[e, 1])
             scores = hdrf_scores(state, u, v, lam=self.lam, eps=self.eps)
             p = int(np.argmax(scores))

@@ -66,6 +66,7 @@ class PartitionAssignment:
 
     @property
     def num_unassigned(self) -> int:
+        """Number of edges still carrying the UNASSIGNED marker."""
         return int((self.parts == UNASSIGNED).sum())
 
     def partition_sizes(self) -> np.ndarray:
@@ -89,11 +90,13 @@ class PartitionAssignment:
     # -- metric conveniences ---------------------------------------------------
 
     def replication_factor(self) -> float:
+        """Mean number of partitions each covered vertex appears in."""
         from repro.metrics.replication import replication_factor
 
         return replication_factor(self)
 
     def balance(self) -> float:
+        """Edge balance alpha: largest partition over the perfect share."""
         from repro.metrics.balance import edge_balance
 
         return edge_balance(self)

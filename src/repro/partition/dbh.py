@@ -18,7 +18,7 @@ import numpy as np
 from repro.graph.edgelist import Graph
 from repro.partition.base import PartitionAssignment, Partitioner, capacity_bound
 
-__all__ = ["DbhPartitioner", "hash_vertices"]
+__all__ = ["DbhPartitioner", "hash_vertices", "dbh_assign", "repair_overflow"]
 
 _KNUTH = np.uint64(2654435761)
 _MASK = np.uint64(0xFFFFFFFF)
@@ -34,6 +34,25 @@ def hash_vertices(ids: np.ndarray, salt: int = 0) -> np.ndarray:
     return x
 
 
+def dbh_assign(
+    pairs: np.ndarray, degrees: np.ndarray, k: int, salt: int = 0
+) -> np.ndarray:
+    """Degree-based-hashing partition of a block of ``(u, v)`` pairs.
+
+    Pure elementwise function of each edge and the (exact) degree array,
+    so a chunked pass over an edge stream produces exactly the same
+    assignments as one vectorized pass over the full edge list — which
+    is how the out-of-core driver reuses it.
+    """
+    u, v = pairs[:, 0], pairs[:, 1]
+    du, dv = degrees[u], degrees[v]
+    # Hash the endpoint with the smaller degree; break ties by id so
+    # the choice is deterministic across runs.
+    pick_u = (du < dv) | ((du == dv) & (u < v))
+    chosen = np.where(pick_u, u, v)
+    return (hash_vertices(chosen, salt) % np.uint64(k)).astype(np.int32)
+
+
 class DbhPartitioner(Partitioner):
     """Degree-based hashing baseline."""
 
@@ -43,23 +62,15 @@ class DbhPartitioner(Partitioner):
         self.name = "DBH"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Hash every edge to a partition; repair rare capacity overflow."""
         self._require_k(graph, k)
-        edges = graph.edges
-        deg = graph.degrees
-        u, v = edges[:, 0], edges[:, 1]
-        du, dv = deg[u], deg[v]
-        # Hash the endpoint with the smaller degree; break ties by id so
-        # the choice is deterministic across runs.
-        pick_u = (du < dv) | ((du == dv) & (u < v))
-        chosen = np.where(pick_u, u, v)
-        parts = (hash_vertices(chosen, self.salt) % np.uint64(k)).astype(np.int32)
-
+        parts = dbh_assign(graph.edges, graph.degrees, k, self.salt)
         capacity = capacity_bound(graph.num_edges, k, self.alpha)
-        parts = _repair_overflow(parts, k, capacity)
+        parts = repair_overflow(parts, k, capacity)
         return PartitionAssignment(graph, k, parts)
 
 
-def _repair_overflow(parts: np.ndarray, k: int, capacity: int) -> np.ndarray:
+def repair_overflow(parts: np.ndarray, k: int, capacity: int) -> np.ndarray:
     """Move surplus edges from overfull to underfull partitions.
 
     Hashing occasionally lands a few edges over the hard bound; the repair

@@ -48,6 +48,7 @@ class DnePartitioner(Partitioner):
         self.name = "DNE"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Run the distributed-NE simulation and collect its assignment."""
         self._require_k(graph, k)
         run = _DneRun(graph, k, self.alpha, self.seed)
         return PartitionAssignment(graph, k, run.execute())

@@ -4,6 +4,10 @@ Gonzalez et al. (OSDI'12).  One pass over the edge stream; each edge is
 placed by the case analysis in
 :func:`~repro.partition.scoring.greedy_choose`.  The paper lists Greedy
 as a stateful streaming baseline that HDRF consistently outperforms.
+
+The per-edge loop lives in :func:`greedy_stream` so the in-memory
+partitioner and the out-of-core driver (:mod:`repro.stream.driver`)
+share one code path — the basis of their bit-identity.
 """
 
 from __future__ import annotations
@@ -16,7 +20,34 @@ from repro.partition.base import PartitionAssignment, Partitioner, capacity_boun
 from repro.partition.scoring import greedy_choose
 from repro.partition.state import StreamingState
 
-__all__ = ["GreedyPartitioner"]
+__all__ = ["GreedyPartitioner", "greedy_stream"]
+
+
+def greedy_stream(
+    state: StreamingState,
+    remaining: np.ndarray,
+    edges: np.ndarray,
+    eids: np.ndarray,
+    parts_out: np.ndarray,
+) -> None:
+    """Stream a block of ``edges`` through the greedy heuristic.
+
+    Mutates ``state`` and the per-vertex unassigned-edge counters
+    ``remaining`` (case 2 of the heuristic), and fills
+    ``parts_out[eids[i]]`` for every streamed edge.  Feeding the whole
+    edge array reproduces the single-pass in-memory baseline; feeding
+    successive chunks against shared state is the out-of-core path.
+    """
+    for i in range(edges.shape[0]):
+        u = int(edges[i, 0])
+        v = int(edges[i, 1])
+        p = greedy_choose(state, u, v, int(remaining[u]), int(remaining[v]))
+        if p < 0:
+            raise CapacityError("Greedy: all partitions at capacity")
+        state.place(u, v, p)
+        remaining[u] -= 1
+        remaining[v] -= 1
+        parts_out[eids[i]] = p
 
 
 class GreedyPartitioner(Partitioner):
@@ -29,6 +60,7 @@ class GreedyPartitioner(Partitioner):
         self.name = "Greedy"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Place every edge of ``graph`` with the greedy case analysis."""
         self._require_k(graph, k)
         capacity = capacity_bound(graph.num_edges, k, self.alpha)
         state = StreamingState.fresh(graph, k, capacity, use_exact_degrees=True)
@@ -40,15 +72,8 @@ class GreedyPartitioner(Partitioner):
         order = np.arange(graph.num_edges)
         if self.shuffle:
             np.random.default_rng(self.seed).shuffle(order)
-        edges = graph.edges
-        for e in order:
-            u = int(edges[e, 0])
-            v = int(edges[e, 1])
-            p = greedy_choose(state, u, v, int(remaining[u]), int(remaining[v]))
-            if p < 0:
-                raise CapacityError("Greedy: all partitions at capacity")
-            state.place(u, v, p)
-            remaining[u] -= 1
-            remaining[v] -= 1
-            assignment.parts[e] = p
+            edges = graph.edges[order]
+        else:
+            edges = graph.edges  # natural order: no O(m) copy
+        greedy_stream(state, remaining, edges, order, assignment.parts)
         return assignment

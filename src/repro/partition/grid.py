@@ -15,9 +15,9 @@ import numpy as np
 
 from repro.graph.edgelist import Graph
 from repro.partition.base import PartitionAssignment, Partitioner, capacity_bound
-from repro.partition.dbh import hash_vertices, _repair_overflow
+from repro.partition.dbh import hash_vertices, repair_overflow
 
-__all__ = ["GridPartitioner", "grid_shape"]
+__all__ = ["GridPartitioner", "grid_shape", "grid_cells", "grid_stream"]
 
 
 def grid_shape(k: int) -> tuple[int, int]:
@@ -26,6 +26,45 @@ def grid_shape(k: int) -> tuple[int, int]:
     while r > 1 and k % r != 0:
         r -= 1
     return r, k // r
+
+
+def grid_cells(
+    pairs: np.ndarray, rows: int, cols: int, salt: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Crossing candidate cells of each edge on an ``rows x cols`` grid.
+
+    Pure elementwise function of the endpoints, so it can be evaluated
+    chunk by chunk with identical results.
+    """
+    u, v = pairs[:, 0], pairs[:, 1]
+    hu = hash_vertices(u, salt)
+    hv = hash_vertices(v, salt)
+    row_u = (hu % np.uint64(rows)).astype(np.int64)
+    col_u = ((hu >> np.uint64(16)) % np.uint64(cols)).astype(np.int64)
+    row_v = (hv % np.uint64(rows)).astype(np.int64)
+    col_v = ((hv >> np.uint64(16)) % np.uint64(cols)).astype(np.int64)
+    return row_u * cols + col_v, row_v * cols + col_u
+
+
+def grid_stream(
+    cell_a: np.ndarray,
+    cell_b: np.ndarray,
+    loads: np.ndarray,
+    eids: np.ndarray,
+    parts_out: np.ndarray,
+) -> None:
+    """Greedy load tie-break between candidate cells, in stream order.
+
+    Mutates ``loads`` and fills ``parts_out[eids[i]]``; feeding chunks
+    sequentially against shared ``loads`` reproduces the full-array pass.
+    """
+    a_list = cell_a.tolist()
+    b_list = cell_b.tolist()
+    for i in range(len(a_list)):
+        a, b = a_list[i], b_list[i]
+        p = a if loads[a] <= loads[b] else b
+        parts_out[eids[i]] = p
+        loads[p] += 1
 
 
 class GridPartitioner(Partitioner):
@@ -37,31 +76,14 @@ class GridPartitioner(Partitioner):
         self.name = "Grid"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Assign each edge to the lighter of its two crossing cells."""
         self._require_k(graph, k)
         rows, cols = grid_shape(k)
-        edges = graph.edges
-        u, v = edges[:, 0], edges[:, 1]
-        hu = hash_vertices(u, self.salt)
-        hv = hash_vertices(v, self.salt)
-        row_u = (hu % np.uint64(rows)).astype(np.int64)
-        col_u = ((hu >> np.uint64(16)) % np.uint64(cols)).astype(np.int64)
-        row_v = (hv % np.uint64(rows)).astype(np.int64)
-        col_v = ((hv >> np.uint64(16)) % np.uint64(cols)).astype(np.int64)
-        # The two crossing cells of the candidate sets.
-        cell_a = row_u * cols + col_v
-        cell_b = row_v * cols + col_u
-
-        # Greedy load tie-break between the two candidates, in stream order.
+        cell_a, cell_b = grid_cells(graph.edges, rows, cols, self.salt)
         parts = np.empty(graph.num_edges, dtype=np.int32)
         loads = np.zeros(k, dtype=np.int64)
-        a_list = cell_a.tolist()
-        b_list = cell_b.tolist()
-        for e in range(graph.num_edges):
-            a, b = a_list[e], b_list[e]
-            p = a if loads[a] <= loads[b] else b
-            parts[e] = p
-            loads[p] += 1
+        grid_stream(cell_a, cell_b, loads, np.arange(graph.num_edges), parts)
 
         capacity = capacity_bound(graph.num_edges, k, self.alpha)
-        parts = _repair_overflow(parts, k, capacity)
+        parts = repair_overflow(parts, k, capacity)
         return PartitionAssignment(graph, k, parts)

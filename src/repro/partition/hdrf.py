@@ -80,6 +80,7 @@ class HdrfPartitioner(Partitioner):
         self.name = "HDRF"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Stream every edge through HDRF scoring (Algorithm 4)."""
         self._require_k(graph, k)
         capacity = capacity_bound(graph.num_edges, k, self.alpha)
         state = StreamingState.fresh(
@@ -89,9 +90,12 @@ class HdrfPartitioner(Partitioner):
         order = np.arange(graph.num_edges)
         if self.shuffle:
             np.random.default_rng(self.seed).shuffle(order)
+            edges = graph.edges[order]
+        else:
+            edges = graph.edges  # natural order: no O(m) copy
         hdrf_stream(
             state,
-            graph.edges[order],
+            edges,
             order,
             assignment.parts,
             lam=self.lam,

@@ -83,6 +83,7 @@ def partition_vertices_kway(
     part = np.zeros(graph.num_vertices, dtype=np.int32)
 
     def recurse(sub: LevelGraph, ids: np.ndarray, k_local: int, base: int) -> None:
+        """Bisect one vertex block and recurse on both halves."""
         if k_local <= 1 or sub.num_vertices == 0:
             part[ids] = base
             return
@@ -108,6 +109,7 @@ class MetisPartitioner(Partitioner):
         self.name = "METIS"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """k-way vertex partition, then edges follow a random endpoint."""
         self._require_k(graph, k)
         vparts = partition_vertices_kway(graph, k, seed=self.seed)
         rng = np.random.default_rng(self.seed + 1)

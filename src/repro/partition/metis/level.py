@@ -27,6 +27,7 @@ class LevelGraph:
     @classmethod
     def from_graph(cls, graph: Graph, vertex_weights: np.ndarray | None = None
                    ) -> "LevelGraph":
+        """Weighted adjacency-map view of an edge-list graph."""
         n = graph.num_vertices
         if vertex_weights is None:
             # Degree weighting makes vertex balance approximate edge balance
@@ -40,9 +41,11 @@ class LevelGraph:
 
     @property
     def total_weight(self) -> float:
+        """Sum of all vertex weights at this level."""
         return float(self.vertex_weights.sum())
 
     def num_edges(self) -> int:
+        """Number of distinct coarse edges at this level."""
         return sum(len(d) for d in self.adj) // 2
 
     def cut_weight(self, side: np.ndarray) -> float:

@@ -69,6 +69,7 @@ class NePartitioner(Partitioner):
         self.name = "NE"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Grow k neighborhood-expansion cores over the whole edge set."""
         self._require_k(graph, k)
         run = _NeRun(graph, k, self.seed, self.record_history)
         parts = run.execute()

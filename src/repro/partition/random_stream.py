@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.graph.edgelist import Graph
 from repro.partition.base import PartitionAssignment, Partitioner, capacity_bound
-from repro.partition.dbh import _repair_overflow
+from repro.partition.dbh import repair_overflow
 
 __all__ = ["RandomStreamPartitioner", "random_stream"]
 
@@ -56,9 +56,10 @@ class RandomStreamPartitioner(Partitioner):
         self.name = "Random"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Assign every edge uniformly at random, repairing overflow."""
         self._require_k(graph, k)
         capacity = capacity_bound(graph.num_edges, k, self.alpha)
         rng = np.random.default_rng(self.seed)
         parts = rng.integers(0, k, size=graph.num_edges).astype(np.int32)
-        parts = _repair_overflow(parts, k, capacity)
+        parts = repair_overflow(parts, k, capacity)
         return PartitionAssignment(graph, k, parts)

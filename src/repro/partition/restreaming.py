@@ -13,6 +13,12 @@ Implementation notes: replica state must support *removal* when an edge
 moves, so instead of the boolean replica matrix this partitioner keeps a
 per-(partition, vertex) incidence counter — a vertex stops being
 replicated on a partition when its last incident edge leaves.
+
+The per-edge revision loop lives in :func:`restream_block` so the
+in-memory partitioner and the out-of-core driver
+(:mod:`repro.stream.driver`, which re-reads an
+:class:`~repro.stream.reader.EdgeChunkSource` once per pass) share one
+code path.
 """
 
 from __future__ import annotations
@@ -24,7 +30,79 @@ from repro.graph.edgelist import Graph
 from repro.partition.base import PartitionAssignment, Partitioner, capacity_bound
 from repro.partition.scoring import NEG_INF
 
-__all__ = ["RestreamingHdrfPartitioner"]
+__all__ = ["RestreamingHdrfPartitioner", "restream_block"]
+
+
+def restream_block(
+    pairs: np.ndarray,
+    eids: np.ndarray,
+    incidence: np.ndarray,
+    loads: np.ndarray,
+    degrees: np.ndarray,
+    parts: np.ndarray,
+    capacity: int,
+    lam: float = 1.1,
+    eps: float = 1.0,
+) -> None:
+    """Revise the assignment of a block of edges against shared state.
+
+    For every edge the current placement (if any) is tentatively lifted
+    out of ``incidence``/``loads``, the HDRF-style score is re-evaluated,
+    and the edge lands on the best open partition (falling back to its
+    old one when everything else is full).  Mutates ``incidence``,
+    ``loads`` and ``parts`` in place; feeding the full edge list is one
+    restreaming pass, feeding successive chunks of a re-read edge stream
+    is the same pass out-of-core.
+    """
+    for i in range(pairs.shape[0]):
+        u = int(pairs[i, 0])
+        v = int(pairs[i, 1])
+        e = int(eids[i])
+        old = int(parts[e])
+        if old >= 0:
+            # Tentatively lift the edge out so scoring is unbiased.
+            incidence[old, u] -= 1
+            incidence[old, v] -= 1
+            loads[old] -= 1
+        p = _choose(incidence, loads, degrees, u, v, capacity, lam, eps)
+        if p < 0:
+            # No open partition (can only happen transiently while
+            # the lifted edge frees one slot): put it back.
+            if old < 0:
+                raise CapacityError("restreaming: no open partition")
+            p = old
+        incidence[p, u] += 1
+        incidence[p, v] += 1
+        loads[p] += 1
+        parts[e] = p
+
+
+def _choose(
+    incidence: np.ndarray,
+    loads: np.ndarray,
+    degrees: np.ndarray,
+    u: int,
+    v: int,
+    capacity: int,
+    lam: float,
+    eps: float,
+) -> int:
+    du = degrees[u]
+    dv = degrees[v]
+    total = du + dv
+    theta_u = du / total if total else 0.5
+    theta_v = 1.0 - theta_u
+    rep_u = incidence[:, u] > 0
+    rep_v = incidence[:, v] > 0
+    score = rep_u * (2.0 - theta_u) + rep_v * (2.0 - theta_v)
+    maxload = loads.max()
+    minload = loads.min()
+    score = score + lam * (maxload - loads) / (eps + maxload - minload)
+    score = np.where(loads < capacity, score, NEG_INF)
+    p = int(np.argmax(score))
+    if score[p] == NEG_INF:
+        return -1
+    return p
 
 
 class RestreamingHdrfPartitioner(Partitioner):
@@ -46,65 +124,28 @@ class RestreamingHdrfPartitioner(Partitioner):
         self.name = f"ReHDRF-{passes}"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Run ``passes`` revision sweeps over the edge list in place."""
         self._require_k(graph, k)
         capacity = capacity_bound(graph.num_edges, k, self.alpha)
         n = graph.num_vertices
-        edges = graph.edges
         m = graph.num_edges
-        degrees = graph.degrees
 
         #: incidence[p, v] — edges of v currently assigned to p
         incidence = np.zeros((k, n), dtype=np.int32)
         loads = np.zeros(k, dtype=np.int64)
         parts = np.full(m, -1, dtype=np.int32)
 
+        eids = np.arange(m, dtype=np.int64)
         for _ in range(self.passes):
-            for e in range(m):
-                u = int(edges[e, 0])
-                v = int(edges[e, 1])
-                old = int(parts[e])
-                if old >= 0:
-                    # Tentatively lift the edge out so scoring is unbiased.
-                    incidence[old, u] -= 1
-                    incidence[old, v] -= 1
-                    loads[old] -= 1
-                p = self._choose(incidence, loads, degrees, u, v, capacity)
-                if p < 0:
-                    # No open partition (can only happen transiently while
-                    # the lifted edge frees one slot): put it back.
-                    if old < 0:
-                        raise CapacityError("restreaming: no open partition")
-                    p = old
-                incidence[p, u] += 1
-                incidence[p, v] += 1
-                loads[p] += 1
-                parts[e] = p
+            restream_block(
+                graph.edges,
+                eids,
+                incidence,
+                loads,
+                graph.degrees,
+                parts,
+                capacity,
+                self.lam,
+                self.eps,
+            )
         return PartitionAssignment(graph, k, parts)
-
-    def _choose(
-        self,
-        incidence: np.ndarray,
-        loads: np.ndarray,
-        degrees: np.ndarray,
-        u: int,
-        v: int,
-        capacity: int,
-    ) -> int:
-        du = degrees[u]
-        dv = degrees[v]
-        total = du + dv
-        theta_u = du / total if total else 0.5
-        theta_v = 1.0 - theta_u
-        rep_u = incidence[:, u] > 0
-        rep_v = incidence[:, v] > 0
-        score = rep_u * (2.0 - theta_u) + rep_v * (2.0 - theta_v)
-        maxload = loads.max()
-        minload = loads.min()
-        score = score + self.lam * (maxload - loads) / (
-            self.eps + maxload - minload
-        )
-        score = np.where(loads < capacity, score, NEG_INF)
-        p = int(np.argmax(score))
-        if score[p] == NEG_INF:
-            return -1
-        return p

@@ -33,6 +33,7 @@ class SimpleHybridPartitioner(Partitioner):
         self.name = f"NE+Rand-{tau:g}"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """NE++ on the pruned graph, random streaming for h2h edges."""
         self._require_k(graph, k)
         split = split_edges(graph, self.tau)
         h2h_mask = split.h2h_mask

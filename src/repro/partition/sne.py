@@ -32,6 +32,7 @@ class SnePartitioner(Partitioner):
         self.name = "SNE"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Sampled neighborhood expansion over the whole edge set."""
         self._require_k(graph, k)
         run = _SneRun(graph, k, self.sample_factor, self.seed)
         return PartitionAssignment(graph, k, run.execute())
@@ -90,14 +91,17 @@ class _SneRun:
         heap = IndexedMinHeap()
 
         def buffered_degree(v: int) -> int:
+            """Degree of v counting only buffered (not yet assigned) edges."""
             return len(self.adj.get(v, ()))
 
         def assign(u: int, v: int, eid: int) -> None:
+            """Commit one edge to partition p."""
             self.parts[eid] = i
             self.loads[i] += 1
             self._drop_edge(u, v)
 
         def move_to_secondary(v: int) -> None:
+            """Pull v into the current secondary set, buffering its edges."""
             in_secondary.add(v)
             dext = 0
             for w, eid in list(self.adj.get(v, {}).items()):
@@ -110,6 +114,7 @@ class _SneRun:
             heap.push(v, dext)
 
         def move_to_core(v: int) -> None:
+            """Promote v from the secondary set to the core."""
             in_core.add(v)
             heap.discard(v)
             for w in list(self.adj.get(v, {})):

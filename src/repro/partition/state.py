@@ -146,7 +146,9 @@ class StreamingState:
         return self.replicas.sum(axis=0)
 
     def total_replicas(self) -> int:
+        """Total replica count over all partitions (rf numerator)."""
         return int(self.replicas.sum())
 
     def min_max_load(self) -> tuple[int, int]:
+        """Smallest and largest current partition load."""
         return int(self.loads.min()), int(self.loads.max())

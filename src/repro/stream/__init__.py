@@ -1,32 +1,54 @@
-"""Out-of-core streaming I/O: chunked edge pipelines for memory-bounded HEP.
+"""Out-of-core streaming I/O: chunked edge pipelines for memory-bounded partitioning.
 
 The seed reproduction simulated the paper's memory knob — every code
 path still materialized the full edge list in RAM.  This package makes
-the constraint real:
+the constraint real, for HEP *and* for every streaming baseline the
+paper compares against:
 
 * :mod:`repro.stream.reader` — chunked :class:`EdgeChunkSource` blocks
-  from text/binary edge files, dataset names or in-memory graphs,
+  from text/binary edge files, dataset names or in-memory graphs, with
+  an optional background-thread :class:`PrefetchingEdgeSource` wrapper
+  so decode overlaps scoring,
+* :mod:`repro.stream.scan` — the shared counting and metrics passes
+  (``O(n)`` state instead of the ``O(m)`` edge list),
 * :mod:`repro.stream.spill` — the disk-backed h2h edge file NE++
-  appends to instead of holding high/high edges in RAM,
+  appends to instead of holding high/high edges in RAM (raw or
+  zlib-framed on-disk format),
 * :mod:`repro.stream.buffered` — a buffered scoring window for phase
   two (quality/throughput knob ``buffer_size``),
 * :mod:`repro.stream.pipeline` — :class:`OutOfCoreHep`, chaining the
   pieces under an explicit byte budget from
-  :mod:`repro.core.memory_model`.
+  :mod:`repro.core.memory_model`,
+* :mod:`repro.stream.driver` — :class:`StreamingPartitionerDriver`,
+  running HDRF/Greedy/DBH/Grid/restreaming from chunked sources with
+  bounded memory, bit-identical to their in-memory counterparts,
+* :mod:`repro.stream.extsort` — an external merge sort producing
+  degree-ordered edge *files* in bounded memory.
 """
 
 from repro.stream.buffered import buffered_hdrf_stream, stream_chunks_through_hdrf
-from repro.stream.pipeline import OutOfCoreHep, OutOfCoreResult, scan_source
+from repro.stream.driver import (
+    STREAMING_ALGORITHMS,
+    StreamedResult,
+    StreamingAlgorithm,
+    StreamingPartitionerDriver,
+    make_streaming_algorithm,
+)
+from repro.stream.extsort import EXTSORT_ORDERS, ExtSortResult, external_sort_edges
+from repro.stream.pipeline import OutOfCoreHep, OutOfCoreResult
 from repro.stream.reader import (
     DEFAULT_CHUNK_SIZE,
+    DEFAULT_PREFETCH_DEPTH,
     BinaryFileEdgeSource,
     EdgeChunk,
     EdgeChunkSource,
     InMemoryEdgeSource,
+    PrefetchingEdgeSource,
     TextFileEdgeSource,
     open_edge_source,
 )
-from repro.stream.spill import SpillFile
+from repro.stream.scan import SourceStats, chunked_quality, scan_source
+from repro.stream.spill import SpillFile, read_spill_header
 
 __all__ = [
     "EdgeChunk",
@@ -34,12 +56,25 @@ __all__ = [
     "InMemoryEdgeSource",
     "BinaryFileEdgeSource",
     "TextFileEdgeSource",
+    "PrefetchingEdgeSource",
     "open_edge_source",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_PREFETCH_DEPTH",
+    "SourceStats",
+    "scan_source",
+    "chunked_quality",
     "SpillFile",
+    "read_spill_header",
     "buffered_hdrf_stream",
     "stream_chunks_through_hdrf",
     "OutOfCoreHep",
     "OutOfCoreResult",
-    "scan_source",
+    "StreamingAlgorithm",
+    "StreamingPartitionerDriver",
+    "StreamedResult",
+    "STREAMING_ALGORITHMS",
+    "make_streaming_algorithm",
+    "EXTSORT_ORDERS",
+    "ExtSortResult",
+    "external_sort_edges",
 ]

@@ -46,50 +46,16 @@ from repro.graph.csr import CsrGraph
 from repro.partition.base import PartitionAssignment
 from repro.partition.state import StreamingState
 from repro.stream.buffered import stream_chunks_through_hdrf
-from repro.stream.reader import DEFAULT_CHUNK_SIZE, EdgeChunkSource, open_edge_source
+from repro.stream.reader import (
+    DEFAULT_CHUNK_SIZE,
+    EdgeChunkSource,
+    PrefetchingEdgeSource,
+    open_edge_source,
+)
+from repro.stream.scan import SourceStats, chunked_quality, scan_source
 from repro.stream.spill import SpillFile
 
-__all__ = ["OutOfCoreHep", "OutOfCoreResult", "scan_source"]
-
-
-@dataclass(frozen=True)
-class SourceStats:
-    """What one counting pass over an edge source establishes."""
-
-    num_vertices: int
-    num_edges: int
-    degrees: np.ndarray
-
-    @property
-    def mean_degree(self) -> float:
-        if self.num_vertices == 0:
-            return 0.0
-        return 2.0 * self.num_edges / self.num_vertices
-
-
-def scan_source(source: EdgeChunkSource) -> SourceStats:
-    """Counting pass: exact degrees, ``n`` and ``m`` in one chunked sweep."""
-    degrees = np.zeros(0, dtype=np.int64)
-    num_edges = 0
-    for chunk in source:
-        num_edges += chunk.num_edges
-        if chunk.num_edges == 0:
-            continue
-        top = int(chunk.pairs.max()) + 1
-        if top > degrees.size:
-            grown = np.zeros(top, dtype=np.int64)
-            grown[: degrees.size] = degrees
-            degrees = grown
-        degrees += np.bincount(
-            chunk.pairs.ravel(), minlength=degrees.size
-        ).astype(np.int64)
-    n = degrees.size
-    declared = source.num_vertices
-    if declared is not None and declared > n:
-        grown = np.zeros(declared, dtype=np.int64)
-        grown[:n] = degrees
-        degrees, n = grown, declared
-    return SourceStats(num_vertices=n, num_edges=num_edges, degrees=degrees)
+__all__ = ["OutOfCoreHep", "OutOfCoreResult", "SourceStats", "scan_source"]
 
 
 @dataclass
@@ -113,6 +79,7 @@ class OutOfCoreResult:
 
     @property
     def num_unassigned(self) -> int:
+        """Number of edges left without a partition (should be zero)."""
         return int((self.parts < 0).sum())
 
     def to_assignment(self, graph) -> PartitionAssignment:
@@ -139,6 +106,14 @@ class OutOfCoreHep:
         per-edge stream order (bit-identical to in-memory HEP).
     spill_dir:
         Directory for the h2h spill file (system temp dir by default).
+    spill_compression:
+        ``None`` for the raw spill format, ``"zlib"`` for compressed
+        frames (see :mod:`repro.stream.spill`) — smaller disk footprint
+        for CPU spent inflating on read-back.
+    prefetch:
+        When > 0, wrap the source in a
+        :class:`~repro.stream.reader.PrefetchingEdgeSource` holding at
+        most this many decoded chunks ahead of each pass's consumer.
     order, seed:
         Chunk order for sources that support reordering.
     """
@@ -152,11 +127,13 @@ class OutOfCoreHep:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         buffer_size: int | None = None,
         spill_dir: str | None = None,
+        spill_compression: str | None = None,
         memory_budget: int | None = None,
         tau_grid: tuple[float, ...] = DEFAULT_TAU_GRID,
         id_bytes: int = 4,
         order: str = "natural",
         seed: int = 0,
+        prefetch: int = 0,
     ) -> None:
         if tau is not None and tau <= 0:
             raise ConfigurationError(f"tau must be positive, got {tau}")
@@ -171,6 +148,8 @@ class OutOfCoreHep:
         self.chunk_size = int(chunk_size)
         self.buffer_size = buffer_size
         self.spill_dir = spill_dir
+        self.spill_compression = spill_compression
+        self.prefetch = int(prefetch)
         self.memory_budget = memory_budget
         self.tau_grid = tau_grid
         self.id_bytes = id_bytes
@@ -190,6 +169,8 @@ class OutOfCoreHep:
         src = open_edge_source(
             source, self.chunk_size, order=self.order, seed=self.seed
         )
+        if self.prefetch > 0:
+            src = PrefetchingEdgeSource(src, depth=self.prefetch)
         stats = scan_source(src)
         if stats.num_edges == 0:
             raise PartitioningError("out-of-core HEP: edge stream is empty")
@@ -205,7 +186,9 @@ class OutOfCoreHep:
         threshold = tau * stats.mean_degree
         high = stats.degrees > threshold
 
-        with SpillFile(dir=self.spill_dir) as spill:
+        with SpillFile(
+            dir=self.spill_dir, compression=self.spill_compression
+        ) as spill:
             csr = self._split_and_build(src, stats, high, spill)
             phase_one = run_ne_plus_plus_on_csr(csr, k, tau=tau)
             parts = phase_one.parts
@@ -224,7 +207,7 @@ class OutOfCoreHep:
             cleanup_removed_fraction=phase_one.stats.cleanup_removed_fraction,
             spilled_edges=phase_one.stats.spilled_edges,
         )
-        rf, balance = self._metrics_pass(src, stats, k, parts)
+        rf, balance = chunked_quality(src, stats, k, parts)
         result = OutOfCoreResult(
             parts=parts,
             k=k,
@@ -339,22 +322,3 @@ class OutOfCoreHep:
             buffer_size=self.buffer_size,
         )
         return state.loads
-
-    def _metrics_pass(
-        self,
-        src: EdgeChunkSource,
-        stats: SourceStats,
-        k: int,
-        parts: np.ndarray,
-    ) -> tuple[float, float]:
-        """Chunked replication factor + edge balance (alpha)."""
-        cover = np.zeros((k, stats.num_vertices), dtype=bool)
-        for chunk in src:
-            p = parts[chunk.eids]
-            cover[p, chunk.pairs[:, 0]] = True
-            cover[p, chunk.pairs[:, 1]] = True
-        covered = int((stats.degrees > 0).sum())
-        rf = float(cover.sum() / covered) if covered else 0.0
-        sizes = np.bincount(parts[parts >= 0], minlength=k)
-        balance = float(sizes.max() / (stats.num_edges / k))
-        return rf, balance

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import abc
 import os
+import queue
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -44,8 +46,10 @@ __all__ = [
     "InMemoryEdgeSource",
     "BinaryFileEdgeSource",
     "TextFileEdgeSource",
+    "PrefetchingEdgeSource",
     "open_edge_source",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_PREFETCH_DEPTH",
 ]
 
 #: default number of edges per chunk (1 MiB of binary uint32 pairs)
@@ -63,6 +67,7 @@ class EdgeChunk:
 
     @property
     def num_edges(self) -> int:
+        """Number of edges in this chunk."""
         return int(self.pairs.shape[0])
 
 
@@ -93,6 +98,7 @@ class EdgeChunkSource(abc.ABC):
         return None
 
     def describe(self) -> str:
+        """Human-readable one-line description of the source."""
         return type(self).__name__
 
 
@@ -136,13 +142,16 @@ class InMemoryEdgeSource(EdgeChunkSource):
 
     @property
     def num_edges(self) -> int:
+        """Edge count of the wrapped graph."""
         return self.graph.num_edges
 
     @property
     def num_vertices(self) -> int:
+        """Vertex universe of the wrapped graph."""
         return self.graph.num_vertices
 
     def describe(self) -> str:
+        """Human-readable one-line description of the source."""
         name = self.graph.name or "graph"
         return f"in-memory {name} ({self.order} order)"
 
@@ -202,9 +211,11 @@ class BinaryFileEdgeSource(EdgeChunkSource):
 
     @property
     def num_edges(self) -> int:
+        """Edge count derived from the file size (pairs of uint32)."""
         return self._num_edges
 
     def describe(self) -> str:
+        """Human-readable one-line description of the source."""
         return f"binary file {self.path} ({self.order} order)"
 
 
@@ -257,7 +268,109 @@ class TextFileEdgeSource(EdgeChunkSource):
         )
 
     def describe(self) -> str:
+        """Human-readable one-line description of the source."""
         return f"text file {self.path}"
+
+
+#: default number of decoded chunks held ahead of the consumer
+#: (2 = classic double-buffering: one being consumed, one in flight)
+DEFAULT_PREFETCH_DEPTH = 2
+
+#: queue sentinel marking the clean end of a prefetched stream
+_STREAM_END = object()
+
+
+class _PrefetchError:
+    """Envelope carrying a worker-thread exception to the consumer."""
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+class PrefetchingEdgeSource(EdgeChunkSource):
+    """Background-thread prefetch wrapper around any edge source.
+
+    A reader thread iterates the inner source and pushes decoded
+    :class:`EdgeChunk` blocks into a bounded queue of ``depth`` entries,
+    so file I/O and decoding overlap with downstream scoring.  Chunk
+    *content and order* are exactly the inner source's — prefetching is
+    a pure latency optimization and never changes results.
+
+    Each ``__iter__`` call spawns a fresh worker (the wrapper stays
+    restartable, so multi-pass algorithms re-read through it freely).
+    Worker exceptions are re-raised in the consumer; abandoning the
+    iterator mid-stream stops and joins the worker.
+    """
+
+    def __init__(
+        self,
+        inner: EdgeChunkSource,
+        depth: int = DEFAULT_PREFETCH_DEPTH,
+    ) -> None:
+        if depth < 1:
+            raise ConfigurationError(f"prefetch depth must be >= 1, got {depth}")
+        self.inner = inner
+        self.depth = int(depth)
+        self.chunk_size = inner.chunk_size
+
+    def __iter__(self) -> Iterator[EdgeChunk]:
+        chunks: queue.Queue = queue.Queue(maxsize=self.depth)
+        stop = threading.Event()
+
+        def _put(item) -> bool:
+            """Enqueue, polling for consumer abandonment; False = stop."""
+            while not stop.is_set():
+                try:
+                    chunks.put(item, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def _worker() -> None:
+            try:
+                for chunk in self.inner:
+                    if not _put(chunk):
+                        return
+                _put(_STREAM_END)
+            except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
+                _put(_PrefetchError(exc))
+
+        worker = threading.Thread(
+            target=_worker, name="edge-chunk-prefetch", daemon=True
+        )
+        worker.start()
+        try:
+            while True:
+                item = chunks.get()
+                if item is _STREAM_END:
+                    return
+                if isinstance(item, _PrefetchError):
+                    raise item.exc
+                yield item
+        finally:
+            stop.set()
+            # Drain so a blocked _put wakes up, then reap the worker.
+            while worker.is_alive():
+                try:
+                    chunks.get_nowait()
+                except queue.Empty:
+                    pass
+                worker.join(timeout=0.05)
+
+    @property
+    def num_edges(self) -> int | None:
+        """Edge count of the wrapped source (``None`` if unknown)."""
+        return self.inner.num_edges
+
+    @property
+    def num_vertices(self) -> int | None:
+        """Vertex universe of the wrapped source (``None`` if unknown)."""
+        return self.inner.num_vertices
+
+    def describe(self) -> str:
+        """Human-readable description including the prefetch depth."""
+        return f"{self.inner.describe()} [prefetch x{self.depth}]"
 
 
 def _reject_self_loops(pairs: np.ndarray, path: Path) -> None:

@@ -1,0 +1,85 @@
+"""Shared chunked passes: counting and quality metrics without a Graph.
+
+Every out-of-core driver needs the same two sweeps over an
+:class:`~repro.stream.reader.EdgeChunkSource`:
+
+* a **counting pass** (:func:`scan_source`) establishing exact degrees,
+  the vertex-universe size and the edge count — the ``O(n)`` state that
+  replaces holding the ``O(m)`` edge list in memory, and
+* a **metrics pass** (:func:`chunked_quality`) computing replication
+  factor and edge balance from a finished per-edge assignment with one
+  more chunked sweep (the cover matrix is ``k x n`` bits).
+
+Both are used by HEP's pipeline (:mod:`repro.stream.pipeline`) and the
+universal baseline driver (:mod:`repro.stream.driver`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stream.reader import EdgeChunkSource
+
+__all__ = ["SourceStats", "scan_source", "chunked_quality"]
+
+
+@dataclass(frozen=True)
+class SourceStats:
+    """What one counting pass over an edge source establishes."""
+
+    num_vertices: int
+    num_edges: int
+    degrees: np.ndarray
+
+    @property
+    def mean_degree(self) -> float:
+        """Mean degree ``2m / n`` (0.0 for an empty universe)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_vertices
+
+
+def scan_source(source: EdgeChunkSource) -> SourceStats:
+    """Counting pass: exact degrees, ``n`` and ``m`` in one chunked sweep."""
+    degrees = np.zeros(0, dtype=np.int64)
+    num_edges = 0
+    for chunk in source:
+        num_edges += chunk.num_edges
+        if chunk.num_edges == 0:
+            continue
+        top = int(chunk.pairs.max()) + 1
+        if top > degrees.size:
+            grown = np.zeros(top, dtype=np.int64)
+            grown[: degrees.size] = degrees
+            degrees = grown
+        degrees += np.bincount(
+            chunk.pairs.ravel(), minlength=degrees.size
+        ).astype(np.int64)
+    n = degrees.size
+    declared = source.num_vertices
+    if declared is not None and declared > n:
+        grown = np.zeros(declared, dtype=np.int64)
+        grown[:n] = degrees
+        degrees, n = grown, declared
+    return SourceStats(num_vertices=n, num_edges=num_edges, degrees=degrees)
+
+
+def chunked_quality(
+    source: EdgeChunkSource,
+    stats: SourceStats,
+    k: int,
+    parts: np.ndarray,
+) -> tuple[float, float]:
+    """Replication factor and edge balance from one more chunked sweep."""
+    cover = np.zeros((k, stats.num_vertices), dtype=bool)
+    for chunk in source:
+        p = parts[chunk.eids]
+        cover[p, chunk.pairs[:, 0]] = True
+        cover[p, chunk.pairs[:, 1]] = True
+    covered = int((stats.degrees > 0).sum())
+    rf = float(cover.sum() / covered) if covered else 0.0
+    sizes = np.bincount(parts[parts >= 0], minlength=k)
+    balance = float(sizes.max() / (stats.num_edges / k))
+    return rf, balance

@@ -25,7 +25,17 @@ class TestParser:
 
     def test_partition_defaults(self):
         args = build_parser().parse_args(["partition", "OK"])
-        assert args.k == 32 and args.method == "HEP" and args.tau == 10.0
+        assert args.k == 32 and args.method == "HEP"
+        assert args.tau is None  # resolved to 10.0 on the HEP paths
+
+    def test_tau_rejected_for_non_hep(self, small_graph_file, capsys):
+        for extra in ([], ["--out-of-core"]):
+            rc = main(
+                ["partition", str(small_graph_file), "--k", "2",
+                 "--algo", "HDRF", "--tau", "2.0", *extra]
+            )
+            assert rc == 1
+            assert "--tau applies only" in capsys.readouterr().err
 
 
 class TestPartitionCommand:
@@ -142,13 +152,146 @@ class TestOutOfCore:
         assert rc == 0
         assert "buffer size" in capsys.readouterr().out
 
-    def test_out_of_core_rejects_other_methods(self, small_graph_file, capsys):
+    def test_out_of_core_rejects_non_streaming_methods(
+        self, small_graph_file, capsys
+    ):
+        """In-memory-only algorithms (NE, METIS, ...) still error out."""
         rc = main(
             ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
-             "--method", "DBH"]
+             "--method", "NE"]
         )
         assert rc == 1
+        assert "streaming baseline" in capsys.readouterr().err
+
+
+class TestOutOfCoreBaselines:
+    """`partition --algo <name> --out-of-core` drives any baseline."""
+
+    @pytest.mark.parametrize("algo", ["HDRF", "greedy", "DBH", "Grid"])
+    def test_each_baseline_runs(self, small_graph_file, capsys, algo):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
+             "--algo", algo, "--chunk-size", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "out-of-core" in out and "replication factor" in out
+
+    def test_restreaming_with_passes_and_prefetch(
+        self, small_graph_file, capsys
+    ):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
+             "--algo", "restreaming", "--passes", "2", "--prefetch", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stream passes      : 2" in out
+        assert "prefetch depth" in out
+
+    def test_baseline_matches_in_memory(self, small_graph_file, tmp_path):
+        in_mem = tmp_path / "a.txt"
+        ooc = tmp_path / "b.txt"
+        assert main(
+            ["partition", str(small_graph_file), "--k", "2",
+             "--method", "HDRF", "--output", str(in_mem)]
+        ) == 0
+        assert main(
+            ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
+             "--algo", "HDRF", "--chunk-size", "2", "--output", str(ooc)]
+        ) == 0
+        assert np.array_equal(
+            np.loadtxt(in_mem, dtype=int), np.loadtxt(ooc, dtype=int)
+        )
+
+    def test_budget_rejected_for_baselines(self, small_graph_file, capsys):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
+             "--algo", "DBH", "--memory-budget", "100000"]
+        )
+        assert rc == 1
+        assert "tau" in capsys.readouterr().err
+
+    def test_spill_flags_rejected_for_baselines(self, small_graph_file, capsys):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
+             "--algo", "HDRF", "--spill-compression", "zlib"]
+        )
+        assert rc == 1
+        assert "spill" in capsys.readouterr().err
+
+    def test_hep_spill_compression_and_prefetch(self, small_graph_file, capsys):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
+             "--tau", "0.5", "--spill-compression", "zlib", "--prefetch", "2"]
+        )
+        assert rc == 0
+        assert "zlib" in capsys.readouterr().out
+
+    def test_prefetch_requires_out_of_core(self, small_graph_file, capsys):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--prefetch", "2"]
+        )
+        assert rc == 1
+        assert "--out-of-core" in capsys.readouterr().err
+
+    def test_negative_prefetch_rejected(self, small_graph_file, capsys):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2", "--out-of-core",
+             "--prefetch", "-2"]
+        )
+        assert rc == 1
+        assert ">= 0" in capsys.readouterr().err
+
+
+class TestExtsortCommand:
+    def test_extsort_then_partition(self, tmp_path, capsys):
+        src = tmp_path / "wi.bin"
+        out = tmp_path / "wi-degree.bin"
+        assert main(["datasets", "--export", "LJ", "--format", "binary",
+                     "--output", str(src)]) == 0
+        rc = main(["extsort", str(src), str(out), "--order", "degree",
+                   "--chunk-size", "1000"])
+        assert rc == 0
+        assert "sort runs" in capsys.readouterr().out
+        assert out.exists() and out.stat().st_size == src.stat().st_size
+        assert main(["partition", str(out), "--k", "4", "--out-of-core",
+                     "--algo", "HDRF"]) == 0
+
+    def test_extsort_unknown_source(self, capsys):
+        rc = main(["extsort", "missing-thing", "out.bin"])
+        assert rc == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_extsort_in_place_rejected(self, tmp_path, capsys):
+        src = tmp_path / "g.bin"
+        assert main(["datasets", "--export", "LJ", "--format", "binary",
+                     "--output", str(src)]) == 0
+        size = src.stat().st_size
+        rc = main(["extsort", str(src), str(src), "--order", "natural"])
+        assert rc == 1
+        assert src.stat().st_size == size
+
+
+class TestInMemoryRestreaming:
+    def test_passes_honored_in_memory(self, small_graph_file, capsys):
+        """Regression: --passes must reach the in-memory partitioner."""
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2",
+             "--method", "Restreaming", "--passes", "5"]
+        )
+        assert rc == 0
+        assert "ReHDRF-5" in capsys.readouterr().out
+
+    def test_passes_rejected_for_other_methods(self, small_graph_file, capsys):
+        """Regression: --passes must not be silently dropped elsewhere."""
+        for extra in ([], ["--out-of-core"]):
+            rc = main(
+                ["partition", str(small_graph_file), "--k", "2",
+                 "--algo", "HDRF", "--passes", "5", *extra]
+            )
+            assert rc == 1
+            assert "Restreaming" in capsys.readouterr().err
 
 
 class TestDatasetsExport:

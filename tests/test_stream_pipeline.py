@@ -85,6 +85,26 @@ class TestSpillBehavior:
         # The spill file itself is cleaned up after the run.
         assert list(spill_dir.glob("h2h-spill-*")) == []
 
+    def test_compressed_spill_identical_parts(self, skewed_graph):
+        """Compression changes the spill encoding, never the assignment."""
+        raw = OutOfCoreHep(tau=1.0, chunk_size=64).partition(skewed_graph, 4)
+        zlibbed = OutOfCoreHep(
+            tau=1.0, chunk_size=64, spill_compression="zlib"
+        ).partition(skewed_graph, 4)
+        assert np.array_equal(raw.parts, zlibbed.parts)
+        assert zlibbed.spill_bytes < raw.spill_bytes
+
+    def test_prefetch_identical_parts(self, skewed_graph, tmp_path):
+        from repro.graph import write_binary_edgelist
+
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(skewed_graph, path)
+        plain = OutOfCoreHep(tau=1.0, chunk_size=91).partition(path, 4)
+        prefetched = OutOfCoreHep(
+            tau=1.0, chunk_size=91, prefetch=3
+        ).partition(path, 4)
+        assert np.array_equal(plain.parts, prefetched.parts)
+
     def test_spill_chunks_bounded(self, skewed_graph, tmp_path):
         """No spill read-back block may exceed the chunk size."""
         with SpillFile(dir=tmp_path) as spill:

@@ -1,4 +1,4 @@
-"""Chunked edge sources: bounded blocks, restartability, orderings."""
+"""Chunked edge sources: bounded blocks, restartability, orderings, prefetch."""
 
 import numpy as np
 import pytest
@@ -8,6 +8,7 @@ from repro.graph import Graph, write_binary_edgelist, write_text_edgelist
 from repro.stream import (
     BinaryFileEdgeSource,
     InMemoryEdgeSource,
+    PrefetchingEdgeSource,
     TextFileEdgeSource,
     open_edge_source,
 )
@@ -110,6 +111,109 @@ class TestFileSources:
         path.write_bytes(b"\x00" * 12)  # not a multiple of 8
         with pytest.raises(GraphFormatError):
             BinaryFileEdgeSource(path, 10)
+
+
+class TestMultiPassReiteration:
+    """Restreaming's contract: every source re-reads identically.
+
+    Multi-pass algorithms (restreaming, and the pipeline's repeated
+    counting/splitting/metrics sweeps) require that iterating a source
+    N times yields the same chunk sequence each time — from text,
+    binary and in-memory sources alike.
+    """
+
+    def _passes(self, source, n=3):
+        return [_collect(source) for _ in range(n)]
+
+    def _assert_all_equal(self, passes):
+        first_pairs, first_eids = passes[0]
+        for pairs, eids in passes[1:]:
+            assert np.array_equal(pairs, first_pairs)
+            assert np.array_equal(eids, first_eids)
+
+    def test_text_source_three_passes(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_text_edgelist(graph, path)
+        self._assert_all_equal(self._passes(TextFileEdgeSource(path, 3)))
+
+    def test_binary_source_three_passes(self, graph, tmp_path):
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        self._assert_all_equal(self._passes(BinaryFileEdgeSource(path, 2)))
+
+    def test_binary_shuffled_repasses_identically(self, graph, tmp_path):
+        """Seeded shuffle must replay the same permutation every pass."""
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        src = BinaryFileEdgeSource(path, 2, order="shuffled", seed=9)
+        self._assert_all_equal(self._passes(src))
+
+    def test_in_memory_source_three_passes(self, graph):
+        self._assert_all_equal(self._passes(InMemoryEdgeSource(graph, 3)))
+
+    def test_prefetching_source_three_passes(self, graph, tmp_path):
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        src = PrefetchingEdgeSource(BinaryFileEdgeSource(path, 2), depth=2)
+        self._assert_all_equal(self._passes(src))
+
+    def test_interleaved_iterators_do_not_corrupt(self, graph, tmp_path):
+        """Two concurrent sweeps over one source must stay independent."""
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        src = BinaryFileEdgeSource(path, 2)
+        a, b = iter(src), iter(src)
+        got_a = [next(a).pairs, next(a).pairs]
+        got_b = [c.pairs for c in b]
+        assert np.array_equal(np.vstack(got_b), graph.edges)
+        assert np.array_equal(np.vstack(got_a), graph.edges[:4])
+
+
+class TestPrefetchingSource:
+    def test_matches_inner_source(self, graph, tmp_path):
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        inner = BinaryFileEdgeSource(path, 2)
+        pairs, eids = _collect(PrefetchingEdgeSource(inner, depth=3))
+        assert np.array_equal(pairs, graph.edges)
+        assert np.array_equal(eids, np.arange(graph.num_edges))
+
+    def test_wraps_any_source(self, graph):
+        src = PrefetchingEdgeSource(InMemoryEdgeSource(graph, 3), depth=1)
+        pairs, _ = _collect(src)
+        assert np.array_equal(pairs, graph.edges)
+
+    def test_metadata_delegates(self, graph):
+        inner = InMemoryEdgeSource(graph, 4)
+        src = PrefetchingEdgeSource(inner, depth=2)
+        assert src.num_edges == inner.num_edges
+        assert src.num_vertices == inner.num_vertices
+        assert src.chunk_size == inner.chunk_size
+        assert "prefetch" in src.describe()
+
+    def test_propagates_worker_errors(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n2 2\n")  # self-loop -> GraphFormatError
+        src = PrefetchingEdgeSource(TextFileEdgeSource(path, 1), depth=2)
+        with pytest.raises(GraphFormatError):
+            _collect(src)
+
+    def test_abandoned_iteration_stops_worker(self, graph, tmp_path):
+        """Breaking out mid-stream must not leak a blocked thread."""
+        import threading
+
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        src = PrefetchingEdgeSource(BinaryFileEdgeSource(path, 1), depth=1)
+        before = threading.active_count()
+        for _ in range(5):
+            for chunk in src:
+                break  # abandon immediately
+        assert threading.active_count() <= before + 1
+
+    def test_bad_depth_rejected(self, graph):
+        with pytest.raises(ConfigurationError):
+            PrefetchingEdgeSource(InMemoryEdgeSource(graph, 4), depth=0)
 
 
 class TestOpenEdgeSource:

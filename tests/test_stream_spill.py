@@ -1,10 +1,10 @@
-"""SpillFile: the disk-backed h2h edge buffer."""
+"""SpillFile: the disk-backed h2h edge buffer (raw and zlib formats)."""
 
 import numpy as np
 import pytest
 
-from repro.errors import GraphFormatError
-from repro.stream import SpillFile
+from repro.errors import ConfigurationError, GraphFormatError
+from repro.stream import SpillFile, read_spill_header
 
 
 def _block(edges):
@@ -124,3 +124,118 @@ class TestEdgeCases:
         spill.close()
         spill.close()
         assert spill.closed
+
+
+class TestMidWriteVisibility:
+    """Regression: a reader opening the file mid-write sees every record.
+
+    The write handle is buffered; before the fsync fix a phase-two
+    reader (or crash-recovery tooling) opening the path could observe a
+    short file.  ``sync()`` — called implicitly by ``chunks()`` — must
+    make all appended records durable and visible.
+    """
+
+    @pytest.mark.parametrize("compression", [None, "zlib"])
+    def test_independent_reader_after_sync(self, tmp_path, compression):
+        pairs, eids = _block([(0, 1), (2, 3), (4, 5), (6, 7)])
+        with SpillFile(
+            dir=tmp_path, delete=False, compression=compression
+        ) as spill:
+            spill.append(pairs, eids)
+            path = spill.path
+            spill.sync()
+            # A *separate* reader opens the path while the writer is
+            # still open: the bytes on disk must already be complete.
+            assert path.stat().st_size == spill.nbytes
+        spill_path_exists = path.exists()
+        assert spill_path_exists
+
+    @pytest.mark.parametrize("compression", [None, "zlib"])
+    def test_chunks_interleaved_with_appends(self, tmp_path, compression):
+        """chunks() mid-write, more appends, chunks() again — all visible."""
+        with SpillFile(dir=tmp_path, compression=compression) as spill:
+            spill.append(*_block([(0, 1), (2, 3)]))
+            first, _ = _drain(spill)
+            assert first.shape[0] == 2
+            spill.append(np.asarray([(8, 9), (10, 11)]), np.asarray([7, 9]))
+            again_pairs, again_eids = _drain(spill)
+            assert again_pairs.shape[0] == 4
+            assert again_eids.tolist() == [0, 1, 7, 9]
+
+    def test_sync_on_closed_spill_is_noop(self, tmp_path):
+        spill = SpillFile(dir=tmp_path)
+        spill.close()
+        spill.sync()  # must not raise on the closed handle
+
+
+class TestCompressedFormat:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 1000])
+    def test_roundtrip(self, tmp_path, chunk_size):
+        pairs = np.arange(40, dtype=np.int64).reshape(-1, 2)
+        eids = np.arange(20, dtype=np.int64) * 3
+        with SpillFile(dir=tmp_path, compression="zlib") as spill:
+            spill.append(pairs[:12], eids[:12])
+            spill.append(pairs[12:], eids[12:])
+            got_pairs, got_eids = _drain(spill, chunk_size)
+            assert np.array_equal(got_pairs, pairs)
+            assert np.array_equal(got_eids, eids)
+            sizes = [p.shape[0] for p, _ in spill.chunks(chunk_size)]
+            assert all(s <= chunk_size for s in sizes)
+
+    def test_raw_record_resembling_magic_not_misread(self, tmp_path):
+        """Regression: a raw spill whose first u happens to start with
+        the magic bytes must still sniff as raw, not raise/misparse."""
+        u_as_magic = int.from_bytes(b"RSPL", "little")  # 0x4C505352
+        pairs = np.asarray([(u_as_magic, 7), (1, 2)], dtype=np.int64)
+        eids = np.asarray([0, 1], dtype=np.int64)
+        with SpillFile(dir=tmp_path, delete=False) as raw:
+            raw.append(pairs, eids)
+            raw.sync()
+            assert read_spill_header(raw.path) is None
+            got_pairs, _ = _drain(raw)
+            assert np.array_equal(got_pairs, pairs)
+
+    def test_header_sniffing(self, tmp_path):
+        with SpillFile(dir=tmp_path, delete=False, compression="zlib") as z:
+            z.append(*_block([(0, 1)]))
+            z.sync()
+            assert read_spill_header(z.path) == "zlib"
+        with SpillFile(dir=tmp_path, delete=False) as raw:
+            raw.append(*_block([(0, 1)]))
+            raw.sync()
+            assert read_spill_header(raw.path) is None
+
+    def test_compresses_redundant_data(self, tmp_path):
+        """Realistic h2h spills (hub-heavy pairs) must shrink on disk."""
+        pairs = np.zeros((5000, 2), dtype=np.int64)
+        pairs[:, 1] = np.arange(5000) % 17
+        eids = np.arange(5000, dtype=np.int64)
+        with SpillFile(dir=tmp_path, compression="zlib") as z, SpillFile(
+            dir=tmp_path
+        ) as raw:
+            z.append(pairs, eids)
+            raw.append(pairs, eids)
+            assert z.nbytes < raw.nbytes // 4
+            assert len(z) == len(raw) == 5000
+
+    def test_empty_compressed_spill(self, tmp_path):
+        with SpillFile(dir=tmp_path, compression="zlib") as spill:
+            assert list(spill.chunks()) == []
+            assert len(spill) == 0
+
+    def test_unknown_compression_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SpillFile(dir=tmp_path, compression="lz4")
+
+    def test_truncated_compressed_file_detected(self, tmp_path):
+        target = tmp_path / "trunc.bin"
+        spill = SpillFile(path=target, delete=False, compression="zlib")
+        spill.append(*_block([(0, 1), (2, 3), (4, 5)]))
+        spill.sync()
+        size = target.stat().st_size
+        spill._num_edges += 10  # claim more records than the file holds
+        with pytest.raises(GraphFormatError):
+            list(spill.chunks())
+        spill._num_edges -= 10
+        spill.close()
+        assert size > 0

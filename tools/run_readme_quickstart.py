@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Execute the README's Quickstart commands verbatim.
+
+CI runs this script (job ``readme-quickstart``) so the documented
+commands can never drift from what actually works: the ``bash`` code
+block under the "## Quickstart" heading is extracted as-is and executed
+with ``bash -euxo pipefail`` in a scratch directory (the repo root is
+resolved first, so relative artifact paths land in the scratch dir, not
+the checkout).
+
+Usage: python tools/run_readme_quickstart.py [README.md]
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def extract_quickstart(readme: Path) -> str:
+    """Return the first ```bash block after the Quickstart heading."""
+    text = readme.read_text(encoding="utf-8")
+    match = re.search(
+        r"^##\s+Quickstart.*?^```bash\n(.*?)^```", text,
+        flags=re.DOTALL | re.MULTILINE,
+    )
+    if not match:
+        raise SystemExit(f"{readme}: no ```bash block under '## Quickstart'")
+    return match.group(1)
+
+
+def main(argv: list[str]) -> int:
+    """Extract and run the quickstart; non-zero exit on any failure."""
+    readme = Path(argv[1]) if len(argv) > 1 else _REPO_ROOT / "README.md"
+    script = extract_quickstart(readme)
+    # The README says "run from the repo root with PYTHONPATH=src";
+    # resolve that relative path for the scratch working directory.
+    preamble = f'export PYTHONPATH="{_REPO_ROOT / "src"}"\n'
+    script = script.replace("export PYTHONPATH=src\n", preamble)
+    print("--- quickstart script ---")
+    print(script, end="")
+    print("-------------------------")
+    with tempfile.TemporaryDirectory(prefix="quickstart-") as scratch:
+        proc = subprocess.run(
+            ["bash", "-euxo", "pipefail", "-c", script], cwd=scratch
+        )
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
