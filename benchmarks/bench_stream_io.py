@@ -17,6 +17,9 @@ It also reports the two new I/O knobs:
   results, bounded overhead", with the measured times printed.
 * **compressed vs raw spill** — bytes on disk vs round-trip time for
   the zlib-framed spill format.
+* **single-file vs sharded(K=4) vs mmap** — read throughput of the
+  three reader families over identical edge content, written as a
+  ``BENCH_stream_io.json`` record under ``results/``.
 
 Like every ``bench_*`` module here, functions use the ``bench_`` prefix
 so the tier-1 test run (default ``python_functions = test*``) never
@@ -38,10 +41,13 @@ from repro.core.hep import HepPartitioner
 from repro.graph import generators, read_binary_edgelist, write_binary_edgelist
 from repro.stream import (
     BinaryFileEdgeSource,
+    MmapEdgeSource,
     OutOfCoreHep,
     PrefetchingEdgeSource,
+    ShardedEdgeSource,
     SpillFile,
     scan_source,
+    write_sharded_edges,
 )
 
 _K = 16
@@ -179,6 +185,89 @@ def bench_prefetch_comparison(benchmark, edge_file, capsys):
     # the printed ratio is the artifact (it trends > 1x as storage slows).
     assert rows["plain"][1] == rows["prefetch"][1]
     assert scan_source(plain).num_edges == scan_source(prefetched).num_edges
+
+
+def bench_reader_throughput_comparison(benchmark, edge_file, capsys):
+    """Single-file vs sharded(K=4) vs mmap read throughput.
+
+    All three readers deliver the identical chunk stream (asserted); the
+    comparison is pure I/O + decode.  The measured rows land in
+    ``results/BENCH_stream_io.json`` so CI and later sessions can track
+    reader throughput as a machine-readable record.
+    """
+    import json
+    from pathlib import Path
+
+    chunk = 1 << 14
+    manifest = write_sharded_edges(
+        edge_file, edge_file.parent / "rmat.manifest.json", num_shards=4,
+        chunk_size=chunk,
+    )
+    # Fresh source per round (a reused MmapEdgeSource would keep its
+    # mapping resident) and cache eviction for *every* file a reader
+    # touches, so all three families start equally cold.
+    readers = {
+        "single-file": lambda: BinaryFileEdgeSource(edge_file, chunk),
+        "sharded-k4": lambda: ShardedEdgeSource(manifest, chunk),
+        "mmap": lambda: MmapEdgeSource(edge_file, chunk),
+    }
+    cold_paths = [edge_file, manifest.path, *manifest.shard_paths]
+
+    def sweep(src):
+        # Consume every chunk; touch the data so mmap actually pages in.
+        edges = 0
+        checksum = 0
+        for c in src:
+            edges += c.num_edges
+            checksum += int(c.pairs[0, 0]) + int(c.pairs[-1, 1])
+        return edges, checksum
+
+    def timed(make_source, rounds=3):
+        best = float("inf")
+        result = None
+        for _ in range(rounds):
+            for path in cold_paths:
+                _drop_page_cache(path)
+            start = time.perf_counter()
+            result = sweep(make_source())
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    def measure():
+        return {name: timed(make) for name, make in readers.items()}
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    num_edges = rows["single-file"][1][0]
+    record = {
+        "bench": "stream_io_readers",
+        "edges": num_edges,
+        "chunk_size": chunk,
+        "shards": manifest.num_shards,
+        "rows": [
+            {
+                "reader": name,
+                "seconds": elapsed,
+                "edges_per_s": num_edges / elapsed if elapsed else None,
+            }
+            for name, (elapsed, _) in rows.items()
+        ],
+    }
+    results_dir = Path(__file__).resolve().parent.parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_stream_io.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    with capsys.disabled():
+        print("\nreader throughput (full sweep, cold cache, best of 3):")
+        for name, (elapsed, _) in rows.items():
+            print(f"  {name:<12} {elapsed * 1000:8.1f} ms  "
+                  f"{num_edges / elapsed / 1e6:8.2f} Medges/s")
+    # Identical content across all three reader families.
+    assert len({result for _, result in rows.values()}) == 1
+    # The new readers must at least keep pace with the buffered
+    # single-file reader (generous slack: CI storage is noisy).
+    best_new = min(rows["sharded-k4"][0], rows["mmap"][0])
+    assert best_new <= rows["single-file"][0] * 1.5
 
 
 def bench_peak_heap_comparison(benchmark, edge_file, capsys):

@@ -42,7 +42,7 @@ __all__ = ["main", "build_parser"]
 
 
 def _load_graph(source: str) -> Graph:
-    """Dataset name, text edge list, or binary edge list."""
+    """Dataset name, text/binary edge list, or shard manifest."""
     if source.upper() in datasets.available():
         return datasets.load(source)
     path = Path(source)
@@ -51,8 +51,23 @@ def _load_graph(source: str) -> Graph:
             f"{source!r} is neither a dataset name "
             f"({', '.join(datasets.available())}) nor a file"
         )
-    if path.suffix in (".bin", ".edges", ".bel"):
+    from repro.stream.shard import ShardedEdgeSource, is_manifest_path
+
+    if is_manifest_path(path):
+        src = ShardedEdgeSource(path)
+        pairs = [chunk.pairs for chunk in src]
+        edges = (
+            np.vstack(pairs) if pairs else np.empty((0, 2), dtype=np.int64)
+        )
+        return Graph.from_edges(
+            edges, num_vertices=src.num_vertices, name=path.stem
+        )
+    from repro.stream.reader import BINARY_SUFFIXES, require_edge_format
+
+    if path.suffix in BINARY_SUFFIXES:
+        require_edge_format(path, "binary")
         return read_binary_edgelist(path, name=path.stem)
+    require_edge_format(path, "text")
     return read_text_edgelist(path, name=path.stem)
 
 
@@ -76,6 +91,9 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                          "in-memory path cannot honor a byte budget)")
     if args.prefetch:
         raise ReproError("--prefetch requires --out-of-core (the in-memory "
+                         "path loads the file in one read)")
+    if args.mmap:
+        raise ReproError("--mmap requires --out-of-core (the in-memory "
                          "path loads the file in one read)")
     if args.spill_compression is not None:
         raise ReproError("--spill-compression requires --out-of-core")
@@ -160,6 +178,7 @@ def _out_of_core_hep(args: argparse.Namespace) -> int:
         spill_dir=args.spill_dir,
         spill_compression=args.spill_compression,
         prefetch=args.prefetch,
+        mmap=args.mmap,
     )
     result = pipeline.partition(args.graph, args.k)
     print(f"partitioner        : HEP-{result.tau:g} (out-of-core)")
@@ -207,6 +226,7 @@ def _out_of_core_baseline(args: argparse.Namespace) -> int:
         args.method,
         chunk_size=args.chunk_size,
         prefetch=args.prefetch,
+        mmap=args.mmap,
         **algo_kwargs,
     )
     result = driver.partition(args.graph, args.k)
@@ -244,11 +264,20 @@ def _cmd_select_tau(args: argparse.Namespace) -> int:
 
 
 def _cmd_extsort(args: argparse.Namespace) -> int:
-    """External-sort an edge stream into a degree-ordered binary file."""
+    """External-sort an edge stream into a degree-ordered edge file.
+
+    With ``--shards K`` the sorted stream lands pre-sharded: a manifest
+    plus K shard files the concurrent reader consumes directly.
+    """
     from repro.stream import external_sort_edges
 
+    if args.compress is not None and args.shards is None:
+        raise ReproError("--compress requires --shards (only the sharded "
+                         "format carries zlib frames)")
     result = external_sort_edges(
-        args.graph, args.output, order=args.order, chunk_size=args.chunk_size
+        args.graph, args.output, order=args.order,
+        chunk_size=args.chunk_size, num_shards=args.shards,
+        compression=args.compress,
     )
     print(f"sorted             : {args.graph} -> {result.path}")
     print(f"order              : {result.order}")
@@ -256,6 +285,10 @@ def _cmd_extsort(args: argparse.Namespace) -> int:
           f"(universe n={result.num_vertices:,})")
     print(f"sort runs          : {result.num_runs} "
           f"({result.run_bytes:,} temp bytes)")
+    if result.num_shards:
+        print(f"shards             : {result.num_shards}"
+              + (f" ({result.compression} frames)"
+                 if result.compression else ""))
     return 0
 
 
@@ -273,6 +306,21 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
         from repro.graph.edgelist import write_binary_edgelist, write_text_edgelist
 
         graph = datasets.load(args.export)
+        if args.format == "sharded":
+            from repro.stream.shard import write_sharded_edges
+
+            output = args.output or f"{args.export.upper()}.manifest.json"
+            manifest = write_sharded_edges(
+                graph, output, num_shards=args.shards,
+                compression=args.compress,
+            )
+            print(f"exported {graph!r}")
+            print(f"  -> {manifest.path} ({manifest.num_shards} shards"
+                  + (f", {args.compress}" if args.compress else "")
+                  + f", {manifest.total_bytes():,} bytes)")
+            return 0
+        if args.compress is not None:
+            raise ReproError("--compress applies to --format sharded only")
         suffix = ".bin" if args.format == "binary" else ".txt"
         output = args.output or f"{args.export.upper()}{suffix}"
         if args.format == "binary":
@@ -334,6 +382,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prefetch", type=int, default=0, metavar="DEPTH",
                    help="background-prefetch this many decoded chunks "
                         "ahead of the consumer (0 = off)")
+    p.add_argument("--mmap", action="store_true",
+                   help="serve chunks zero-copy from an np.memmap "
+                        "(uncompressed binary edge files, with "
+                        "--out-of-core)")
     p.add_argument("--passes", type=int, default=None,
                    help="stream passes for --algo Restreaming (default 3)")
     p.set_defaults(func=_cmd_partition)
@@ -364,6 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ordering to realize (degree-derived keys only)")
     p.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
                    help="edges per in-memory sort run")
+    p.add_argument("--shards", type=int, default=None, metavar="K",
+                   help="split the sorted stream into K shard files plus "
+                        "a manifest (output becomes <out>.manifest.json)")
+    p.add_argument("--compress", choices=("zlib",), default=None,
+                   help="zlib-framed shard files (requires --shards)")
     p.set_defaults(func=_cmd_extsort)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -375,10 +432,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--export", metavar="NAME", default=None,
                    help="write the named stand-in as an on-disk edge file")
-    p.add_argument("--format", choices=("text", "binary"), default="binary",
+    p.add_argument("--format", choices=("text", "binary", "sharded"),
+                   default="binary",
                    help="edge-file format for --export")
     p.add_argument("--output", default=None,
-                   help="output path for --export (default: <NAME>.bin/.txt)")
+                   help="output path for --export "
+                        "(default: <NAME>.bin/.txt/.manifest.json)")
+    p.add_argument("--shards", type=int, default=4, metavar="K",
+                   help="shard count for --format sharded")
+    p.add_argument("--compress", choices=("zlib",), default=None,
+                   help="zlib-framed shard files (--format sharded only)")
     p.set_defaults(func=_cmd_datasets)
     return parser
 

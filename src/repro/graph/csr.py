@@ -41,6 +41,7 @@ class ExternalEdges:
 
     @property
     def num_edges(self) -> int:
+        """Number of h2h edges held in this buffer."""
         return int(self.pairs.shape[0])
 
     def nbytes_binary(self) -> int:
@@ -248,6 +249,7 @@ class CsrGraph:
 
     @property
     def is_pruned(self) -> bool:
+        """True when any vertex is flagged high-degree (entries pruned)."""
         return bool(self.high_mask.any())
 
     def out_view(self, v: int) -> tuple[np.ndarray, np.ndarray]:

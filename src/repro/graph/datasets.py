@@ -39,6 +39,7 @@ class DatasetSpec:
     description: str
 
     def build(self, scale: float = 1.0) -> Graph:
+        """Generate the stand-in graph at ``scale`` and label it."""
         graph = self.builder(scale)
         graph.name = self.name
         return graph

@@ -52,10 +52,12 @@ class EdgeSplit:
 
     @property
     def num_high_vertices(self) -> int:
+        """Number of vertices above the degree threshold."""
         return int(self.high_mask.sum())
 
     @property
     def num_h2h_edges(self) -> int:
+        """Number of edges whose endpoints are both high-degree."""
         return int(self.h2h_mask.sum())
 
     def h2h_fraction(self) -> float:

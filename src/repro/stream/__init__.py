@@ -23,7 +23,11 @@ paper compares against:
   running HDRF/Greedy/DBH/Grid/restreaming from chunked sources with
   bounded memory, bit-identical to their in-memory counterparts,
 * :mod:`repro.stream.extsort` — an external merge sort producing
-  degree-ordered edge *files* in bounded memory.
+  degree-ordered edge *files* in bounded memory,
+* :mod:`repro.stream.shard` — the sharded edge-file format (JSON
+  manifest + N flat or zlib-framed shard files) with a concurrent
+  :class:`ShardedEdgeSource` reader and a zero-copy
+  :class:`MmapEdgeSource` for uncompressed single files.
 """
 
 from repro.stream.buffered import buffered_hdrf_stream, stream_chunks_through_hdrf
@@ -46,8 +50,18 @@ from repro.stream.reader import (
     PrefetchingEdgeSource,
     TextFileEdgeSource,
     open_edge_source,
+    sniff_edge_format,
 )
 from repro.stream.scan import SourceStats, chunked_quality, scan_source
+from repro.stream.shard import (
+    MANIFEST_SUFFIX,
+    MmapEdgeSource,
+    ShardedEdgeSource,
+    ShardManifest,
+    ShardWriter,
+    read_shard_manifest,
+    write_sharded_edges,
+)
 from repro.stream.spill import SpillFile, read_spill_header
 
 __all__ = [
@@ -77,4 +91,12 @@ __all__ = [
     "EXTSORT_ORDERS",
     "ExtSortResult",
     "external_sort_edges",
+    "sniff_edge_format",
+    "ShardManifest",
+    "ShardWriter",
+    "ShardedEdgeSource",
+    "MmapEdgeSource",
+    "write_sharded_edges",
+    "read_shard_manifest",
+    "MANIFEST_SUFFIX",
 ]

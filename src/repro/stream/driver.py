@@ -297,6 +297,11 @@ class StreamingPartitionerDriver:
         When > 0, wrap the source in a
         :class:`~repro.stream.reader.PrefetchingEdgeSource` holding at
         most this many decoded chunks ahead of the consumer.
+    mmap:
+        Serve chunks from a zero-copy
+        :class:`~repro.stream.shard.MmapEdgeSource` when the source is
+        a flat binary edge file (results are bit-identical; this is a
+        pure I/O optimization).
     """
 
     def __init__(
@@ -307,6 +312,7 @@ class StreamingPartitionerDriver:
         order: str = "natural",
         seed: int = 0,
         prefetch: int = 0,
+        mmap: bool = False,
         **algo_kwargs,
     ) -> None:
         if isinstance(algorithm, StreamingAlgorithm):
@@ -322,6 +328,7 @@ class StreamingPartitionerDriver:
         self.order = order
         self.seed = seed
         self.prefetch = int(prefetch)
+        self.mmap = bool(mmap)
         self.last_result: StreamedResult | None = None
         self.name = f"{self.algorithm.name}-ooc"
 
@@ -340,7 +347,8 @@ class StreamingPartitionerDriver:
             )
         start = time.perf_counter()
         src: EdgeChunkSource = open_edge_source(
-            source, self.chunk_size, order=self.order, seed=self.seed
+            source, self.chunk_size, order=self.order, seed=self.seed,
+            mmap=self.mmap,
         )
         if self.prefetch > 0:
             src = PrefetchingEdgeSource(src, depth=self.prefetch)

@@ -62,7 +62,11 @@ MAX_OPEN_RUNS = 256
 
 @dataclass(frozen=True)
 class ExtSortResult:
-    """Summary of one external-sort pass."""
+    """Summary of one external-sort pass.
+
+    ``path`` is the output edge file — or, when ``num_shards`` > 0, the
+    shard *manifest* the sorted stream was split into.
+    """
 
     path: Path
     order: str
@@ -70,11 +74,17 @@ class ExtSortResult:
     num_vertices: int
     num_runs: int
     run_bytes: int
+    num_shards: int = 0
+    compression: str | None = None
 
     def __str__(self) -> str:
+        sharded = (
+            f", {self.num_shards} shards" if self.num_shards else ""
+        )
         return (
             f"{self.path} ({self.order} order, {self.num_edges:,} edges, "
-            f"{self.num_runs} runs, {self.run_bytes:,} temp bytes)"
+            f"{self.num_runs} runs, {self.run_bytes:,} temp bytes"
+            f"{sharded})"
         )
 
 
@@ -165,6 +175,90 @@ def _collapse_runs(
     return runs
 
 
+class _FlatFileSink:
+    """Single-file output: flat little-endian uint32 pairs.
+
+    The file is opened **lazily** on the first append, so a sort that
+    fails during the counting scan or run generation never truncates a
+    pre-existing output file.
+    """
+
+    def __init__(self, out_path: Path) -> None:
+        self.path = out_path
+        self._fh = None
+
+    def append(self, pairs: np.ndarray) -> None:
+        """Encode one block of ``(u, v)`` pairs."""
+        if self._fh is None:
+            self._fh = open(self.path, "wb")
+        np.ascontiguousarray(pairs).astype(_OUT_DTYPE).tofile(self._fh)
+
+    def close(self) -> Path:
+        """Close the file (creating it for empty streams); return its path."""
+        if self._fh is None:
+            self._fh = open(self.path, "wb")
+        self._fh.close()
+        return self.path
+
+    def abort(self) -> None:
+        """Release the handle after a failure without finalizing."""
+        if self._fh is not None:
+            self._fh.close()
+
+
+class _ShardSink:
+    """Sharded output: manifest + shard files via :class:`ShardWriter`."""
+
+    def __init__(
+        self,
+        out_path: Path,
+        num_edges: int,
+        num_vertices: int,
+        num_shards: int,
+        compression: str | None,
+    ) -> None:
+        from repro.stream.shard import ShardWriter
+
+        self._writer = ShardWriter(
+            out_path,
+            num_edges=num_edges,
+            num_shards=num_shards,
+            compression=compression,
+            num_vertices=num_vertices,
+        )
+
+    def append(self, pairs: np.ndarray) -> None:
+        """Forward one block to the shard writer."""
+        self._writer.append(np.ascontiguousarray(pairs))
+
+    def close(self) -> Path:
+        """Write the manifest and return its path."""
+        return self._writer.close().path
+
+    def abort(self) -> None:
+        """Release shard handles after a failure (no manifest is written)."""
+        self._writer.abort()
+
+
+def _make_sink(
+    out_path: Path,
+    stats: SourceStats,
+    num_shards: int | None,
+    compression: str | None,
+):
+    """Pick the output encoding: one flat file or a sharded set."""
+    if num_shards is None:
+        if compression is not None:
+            raise ConfigurationError(
+                "compression requires sharded output (pass num_shards; "
+                "the flat binary edge-list format has no framing)"
+            )
+        return _FlatFileSink(out_path)
+    return _ShardSink(
+        out_path, stats.num_edges, stats.num_vertices, num_shards, compression
+    )
+
+
 def external_sort_edges(
     source,
     out_path: str | os.PathLike,
@@ -172,6 +266,8 @@ def external_sort_edges(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     tmp_dir: str | os.PathLike | None = None,
     merge_buffer: int = DEFAULT_MERGE_BUFFER,
+    num_shards: int | None = None,
+    compression: str | None = None,
 ) -> ExtSortResult:
     """Write ``source``'s edges to ``out_path`` in ``order``, out-of-core.
 
@@ -179,8 +275,13 @@ def external_sort_edges(
     accepts.  The output is a flat little-endian uint32 binary edge list
     whose *natural* order realizes the requested degree-derived ordering
     — ready for :class:`~repro.stream.reader.BinaryFileEdgeSource` or the
-    out-of-core drivers.  Peak memory is ``O(n + chunk_size +
-    runs * merge_buffer)``; the full edge list is never resident.
+    out-of-core drivers.  With ``num_shards`` the sorted stream is split
+    into a sharded edge-file set instead (``out_path`` becomes the
+    manifest; ``compression="zlib"`` selects framed shards), so
+    degree-ordered files are produced pre-sharded for the concurrent
+    :class:`~repro.stream.shard.ShardedEdgeSource` reader.  Peak memory
+    is ``O(n + chunk_size + runs * merge_buffer)``; the full edge list
+    is never resident.
     """
     if order not in EXTSORT_ORDERS:
         raise ConfigurationError(
@@ -192,6 +293,10 @@ def external_sort_edges(
     if merge_buffer < 1:
         raise ConfigurationError(
             f"merge_buffer must be >= 1, got {merge_buffer}"
+        )
+    if num_shards is not None and num_shards < 1:
+        raise ConfigurationError(
+            f"num_shards must be >= 1, got {num_shards}"
         )
     out_path = Path(out_path)
     if (
@@ -210,68 +315,85 @@ def external_sort_edges(
         raise GraphFormatError(
             "vertex ids exceed the uint32 binary edge-list format"
         )
+    sink = _make_sink(out_path, stats, num_shards, compression)
 
-    if order == "natural":
-        return _reencode_natural(src, stats, out_path)
-
-    with tempfile.TemporaryDirectory(
-        prefix="extsort-", dir=tmp_dir
-    ) as run_dir_name:
-        run_dir = Path(run_dir_name)
-        runs: list[Path] = []
-        for chunk in src:
-            if chunk.num_edges == 0:
-                continue
-            keys = _edge_keys(chunk.pairs, stats.degrees, order)
-            runs.append(
-                _write_run(chunk.pairs, chunk.eids, keys, run_dir, len(runs))
+    try:
+        if order == "natural":
+            return _reencode_natural(
+                src, stats, sink, num_shards, compression
             )
-        run_bytes = sum(p.stat().st_size for p in runs)
-        num_runs = len(runs)
-        runs = _collapse_runs(runs, run_dir, merge_buffer, MAX_OPEN_RUNS)
-        merged = heapq.merge(*(_iter_run(p, merge_buffer) for p in runs))
-        written = 0
-        with open(out_path, "wb") as out:
+
+        with tempfile.TemporaryDirectory(
+            prefix="extsort-", dir=tmp_dir
+        ) as run_dir_name:
+            run_dir = Path(run_dir_name)
+            runs: list[Path] = []
+            for chunk in src:
+                if chunk.num_edges == 0:
+                    continue
+                keys = _edge_keys(chunk.pairs, stats.degrees, order)
+                runs.append(
+                    _write_run(chunk.pairs, chunk.eids, keys, run_dir, len(runs))
+                )
+            run_bytes = sum(p.stat().st_size for p in runs)
+            num_runs = len(runs)
+            runs = _collapse_runs(runs, run_dir, merge_buffer, MAX_OPEN_RUNS)
+            merged = heapq.merge(*(_iter_run(p, merge_buffer) for p in runs))
+            written = 0
             buf: list[tuple[int, int]] = []
             for _key, _eid, u, v in merged:
                 buf.append((u, v))
                 if len(buf) >= chunk_size:
-                    np.asarray(buf, dtype=_OUT_DTYPE).tofile(out)
+                    sink.append(np.asarray(buf, dtype=np.int64))
                     written += len(buf)
                     buf = []
             if buf:
-                np.asarray(buf, dtype=_OUT_DTYPE).tofile(out)
+                sink.append(np.asarray(buf, dtype=np.int64))
                 written += len(buf)
-    if written != stats.num_edges:
-        raise GraphFormatError(
-            f"external sort wrote {written} of {stats.num_edges} edges"
-        )
+        if written != stats.num_edges:
+            raise GraphFormatError(
+                f"external sort wrote {written} of {stats.num_edges} edges"
+            )
+        final_path = sink.close()
+    except BaseException:
+        sink.abort()
+        raise
     return ExtSortResult(
-        path=out_path,
+        path=final_path,
         order=order,
         num_edges=stats.num_edges,
         num_vertices=stats.num_vertices,
         num_runs=num_runs,
         run_bytes=run_bytes,
+        num_shards=num_shards or 0,
+        compression=compression,
     )
 
 
-def _reencode_natural(src, stats: SourceStats, out_path: Path) -> ExtSortResult:
-    """Degenerate case: copy the stream to binary in its existing order."""
+def _reencode_natural(
+    src,
+    stats: SourceStats,
+    sink,
+    num_shards: int | None,
+    compression: str | None,
+) -> ExtSortResult:
+    """Degenerate case: copy the stream to the sink in its existing order."""
     written = 0
-    with open(out_path, "wb") as out:
-        for chunk in src:
-            chunk.pairs.astype(_OUT_DTYPE).tofile(out)
-            written += chunk.num_edges
+    for chunk in src:
+        sink.append(chunk.pairs)
+        written += chunk.num_edges
     if written != stats.num_edges:
         raise GraphFormatError(
             f"external sort wrote {written} of {stats.num_edges} edges"
         )
+    final_path = sink.close()
     return ExtSortResult(
-        path=out_path,
+        path=final_path,
         order="natural",
         num_edges=stats.num_edges,
         num_vertices=stats.num_vertices,
         num_runs=0,
         run_bytes=0,
+        num_shards=num_shards or 0,
+        compression=compression,
     )

@@ -114,6 +114,10 @@ class OutOfCoreHep:
         When > 0, wrap the source in a
         :class:`~repro.stream.reader.PrefetchingEdgeSource` holding at
         most this many decoded chunks ahead of each pass's consumer.
+    mmap:
+        Serve chunks from a zero-copy
+        :class:`~repro.stream.shard.MmapEdgeSource` when the source is
+        a flat binary edge file (bit-identical results, fewer copies).
     order, seed:
         Chunk order for sources that support reordering.
     """
@@ -134,6 +138,7 @@ class OutOfCoreHep:
         order: str = "natural",
         seed: int = 0,
         prefetch: int = 0,
+        mmap: bool = False,
     ) -> None:
         if tau is not None and tau <= 0:
             raise ConfigurationError(f"tau must be positive, got {tau}")
@@ -150,6 +155,7 @@ class OutOfCoreHep:
         self.spill_dir = spill_dir
         self.spill_compression = spill_compression
         self.prefetch = int(prefetch)
+        self.mmap = bool(mmap)
         self.memory_budget = memory_budget
         self.tau_grid = tau_grid
         self.id_bytes = id_bytes
@@ -167,7 +173,8 @@ class OutOfCoreHep:
             raise ConfigurationError(f"out-of-core HEP requires k >= 2, got {k}")
         start = time.perf_counter()
         src = open_edge_source(
-            source, self.chunk_size, order=self.order, seed=self.seed
+            source, self.chunk_size, order=self.order, seed=self.seed,
+            mmap=self.mmap,
         )
         if self.prefetch > 0:
             src = PrefetchingEdgeSource(src, depth=self.prefetch)

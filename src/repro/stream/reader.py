@@ -48,6 +48,8 @@ __all__ = [
     "TextFileEdgeSource",
     "PrefetchingEdgeSource",
     "open_edge_source",
+    "sniff_edge_format",
+    "require_edge_format",
     "DEFAULT_CHUNK_SIZE",
     "DEFAULT_PREFETCH_DEPTH",
 ]
@@ -57,12 +59,16 @@ DEFAULT_CHUNK_SIZE = 1 << 17
 
 _BINARY_DTYPE = np.dtype("<u4")  # matches repro.graph.edgelist
 
+#: suffixes that declare the flat binary uint32 pair format
+BINARY_SUFFIXES = (".bin", ".edges", ".bel")
+
 
 @dataclass(frozen=True)
 class EdgeChunk:
     """One bounded block of an edge stream."""
 
-    pairs: np.ndarray  # (c, 2) int64 oriented endpoints
+    pairs: np.ndarray  # (c, 2) integer oriented endpoints (int64, or
+                       # read-only uint32 views from an mmap source)
     eids: np.ndarray   # (c,) int64 canonical edge ids
 
     @property
@@ -195,18 +201,35 @@ class BinaryFileEdgeSource(EdgeChunkSource):
         if self.order == "shuffled":
             rng = np.random.default_rng(self.seed)
             rng.shuffle(chunk_ids)
+        size = self.path.stat().st_size
+        if size != self._num_edges * 8:
+            raise GraphFormatError(
+                f"{self.path}: file is {size} bytes but held "
+                f"{self._num_edges * 8} at open "
+                f"({self._num_edges} edges); it changed on disk"
+            )
         with open(self.path, "rb") as fh:
             for c in chunk_ids.tolist():
                 start = c * self.chunk_size
                 count = min(self.chunk_size, self._num_edges - start)
                 fh.seek(start * 8)
                 flat = np.fromfile(fh, dtype=_BINARY_DTYPE, count=count * 2)
+                if flat.size != count * 2:
+                    # Short read: the file shrank between chunks (or an
+                    # odd tail appeared) — never hand back a chunk whose
+                    # pairs do not parallel its eids.
+                    raise GraphFormatError(
+                        f"{self.path}: truncated read at edge {start}: "
+                        f"expected {count} edges, got {flat.size // 2} "
+                        f"({flat.size} uint32 values); the file was "
+                        f"truncated during iteration"
+                    )
                 pairs = flat.reshape(-1, 2).astype(np.int64)
                 eids = np.arange(start, start + count, dtype=np.int64)
                 if rng is not None:
                     inner = rng.permutation(count)
                     pairs, eids = pairs[inner], eids[inner]
-                _reject_self_loops(pairs, self.path)
+                _validate_chunk(pairs, self.path)
                 yield EdgeChunk(pairs=pairs, eids=eids)
 
     @property
@@ -247,11 +270,20 @@ class TextFileEdgeSource(EdgeChunkSource):
                         f"{self.path}:{lineno}: expected 'u v', got {line!r}"
                     )
                 try:
-                    buf.append((int(fields[0]), int(fields[1])))
+                    u, v = int(fields[0]), int(fields[1])
                 except ValueError as exc:
                     raise GraphFormatError(
                         f"{self.path}:{lineno}: non-integer id"
                     ) from exc
+                if u < 0 or v < 0:
+                    # The in-memory Graph constructor rejects negatives;
+                    # accepting them here would negative-index degree
+                    # arrays downstream instead of raising.
+                    raise GraphFormatError(
+                        f"{self.path}:{lineno}: negative vertex id "
+                        f"({u} {v})"
+                    )
+                buf.append((u, v))
                 if len(buf) >= self.chunk_size:
                     yield self._emit(buf, next_eid)
                     next_eid += len(buf)
@@ -261,7 +293,7 @@ class TextFileEdgeSource(EdgeChunkSource):
 
     def _emit(self, buf: list[tuple[int, int]], first_eid: int) -> EdgeChunk:
         pairs = np.asarray(buf, dtype=np.int64).reshape(-1, 2)
-        _reject_self_loops(pairs, self.path)
+        _validate_chunk(pairs, self.path)
         return EdgeChunk(
             pairs=pairs,
             eids=np.arange(first_eid, first_eid + pairs.shape[0], dtype=np.int64),
@@ -373,11 +405,71 @@ class PrefetchingEdgeSource(EdgeChunkSource):
         return f"{self.inner.describe()} [prefetch x{self.depth}]"
 
 
-def _reject_self_loops(pairs: np.ndarray, path: Path) -> None:
-    if pairs.size and (pairs[:, 0] == pairs[:, 1]).any():
+def _validate_chunk(pairs: np.ndarray, path: Path) -> None:
+    """Per-chunk stream validation shared by every file-backed source.
+
+    Rejects self-loops (chunked sources require canonical input) and
+    negative vertex ids (which the in-memory :class:`Graph` constructor
+    rejects; letting them through would silently negative-index degree
+    arrays).  Unsigned payloads skip the sign check for free.
+    """
+    if pairs.size == 0:
+        return
+    if pairs.dtype.kind != "u" and int(pairs.min()) < 0:
+        raise GraphFormatError(
+            f"{path}: negative vertex id in edge stream — ids must be "
+            f"non-negative, matching the in-memory Graph contract"
+        )
+    if (pairs[:, 0] == pairs[:, 1]).any():
         raise GraphFormatError(
             f"{path}: self-loop in edge stream — chunked sources require "
             f"canonical input (see repro.graph.edgelist.canonical_edges)"
+        )
+
+
+#: bytes legal in a text edge list: digits, signs, whitespace, comments
+#: (comment lines may carry any printable ASCII)
+_TEXT_BYTES = frozenset(range(0x20, 0x7F)) | {0x09, 0x0A, 0x0D}
+
+#: how many leading bytes the format sniff inspects
+_SNIFF_BYTES = 1024
+
+
+def sniff_edge_format(path: "str | os.PathLike") -> str | None:
+    """Classify an edge file's *content* as ``"text"`` or ``"binary"``.
+
+    Reads the first :data:`_SNIFF_BYTES` bytes: a file consisting purely
+    of printable ASCII plus whitespace is a text edge list (the SNAP
+    convention); anything with control or high bytes is binary — flat
+    uint32 pairs contain ``0x00`` high bytes for every realistic vertex
+    id.  An empty file is ambiguous and returns ``None``.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(_SNIFF_BYTES)
+    if not head:
+        return None
+    return "text" if all(b in _TEXT_BYTES for b in head) else "binary"
+
+
+def require_edge_format(path: "str | os.PathLike", declared: str) -> None:
+    """Raise when a file's sniffed content contradicts its suffix.
+
+    Suffix alone used to decide text-vs-binary, so a text edge list
+    named ``*.edges`` was parsed as flat uint32 and silently partitioned
+    garbage.  A mismatch is now a :class:`GraphFormatError` instead.
+    """
+    path = Path(path)
+    sniffed = sniff_edge_format(path)
+    if sniffed is not None and sniffed != declared:
+        expect = (
+            f"its suffix {path.suffix!r} declares flat binary uint32 pairs"
+            if declared == "binary"
+            else f"its suffix {path.suffix!r} implies a 'u v' text edge list"
+        )
+        raise GraphFormatError(
+            f"{path}: content looks like a {sniffed} edge list but "
+            f"{expect}; rename the file ({', '.join(BINARY_SUFFIXES)} "
+            f"for binary) or convert it"
         )
 
 
@@ -386,15 +478,24 @@ def open_edge_source(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     order: str = "natural",
     seed: int = 0,
+    mmap: bool = False,
 ) -> EdgeChunkSource:
     """One front door for every edge-stream shape.
 
     * an :class:`EdgeChunkSource` passes through unchanged,
     * a :class:`Graph` becomes an :class:`InMemoryEdgeSource`,
     * a Table 3 dataset name is generated then wrapped in-memory,
+    * a ``*.manifest.json`` path becomes a concurrent
+      :class:`~repro.stream.shard.ShardedEdgeSource`,
     * a ``.bin``/``.edges``/``.bel`` path becomes a
-      :class:`BinaryFileEdgeSource`, any other existing path a
-      :class:`TextFileEdgeSource`.
+      :class:`BinaryFileEdgeSource` — or, with ``mmap=True``, a
+      zero-copy :class:`~repro.stream.shard.MmapEdgeSource`,
+    * any other existing path a :class:`TextFileEdgeSource`.
+
+    File contents are sniffed against the suffix's declared format
+    (:func:`sniff_edge_format`); a mismatch — e.g. a text edge list
+    named ``*.edges`` — raises :class:`GraphFormatError` instead of
+    silently parsing garbage.
     """
     if isinstance(source, EdgeChunkSource):
         return source
@@ -412,8 +513,38 @@ def open_edge_source(
             f"{text!r} is neither a dataset name "
             f"({', '.join(datasets.available())}) nor a file"
         )
-    if path.suffix in (".bin", ".edges", ".bel"):
+    from repro.stream.shard import (
+        MmapEdgeSource,
+        ShardedEdgeSource,
+        is_manifest_path,
+    )
+
+    if is_manifest_path(path):
+        if order != "natural":
+            raise ConfigurationError(
+                "sharded sources are sequential-only (order='natural')"
+            )
+        if mmap:
+            raise ConfigurationError(
+                "mmap=True applies to single uncompressed binary edge "
+                "files, not shard manifests"
+            )
+        return ShardedEdgeSource(path, chunk_size)
+    if path.suffix in BINARY_SUFFIXES:
+        require_edge_format(path, "binary")
+        if mmap:
+            if order != "natural":
+                raise ConfigurationError(
+                    "mmap sources are sequential-only (order='natural')"
+                )
+            return MmapEdgeSource(path, chunk_size)
         return BinaryFileEdgeSource(path, chunk_size, order=order, seed=seed)
+    require_edge_format(path, "text")
+    if mmap:
+        raise ConfigurationError(
+            "mmap=True requires a flat binary edge file "
+            f"({', '.join(BINARY_SUFFIXES)})"
+        )
     if order != "natural":
         raise ConfigurationError(
             "text file sources are sequential-only (order='natural')"

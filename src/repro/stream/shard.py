@@ -1,0 +1,737 @@
+"""Sharded edge files: a manifest plus N shard files, read concurrently.
+
+The ROADMAP's next storage step after the single-file chunked readers:
+an edge list split into ``N`` contiguous *shards* described by a small
+JSON **manifest**.  Shards are flat little-endian uint32 pairs — each
+shard is itself a valid binary edge list — or, with
+``compression="zlib"``, a framed variant reusing the
+:class:`~repro.stream.spill.SpillFile` frame encoding (magic + version
++ codec header, then ``<u4 payload_bytes, <u4 record_count`` frames of
+zlib-deflated pairs).
+
+Three public pieces:
+
+* :class:`ShardWriter` / :func:`write_sharded_edges` — split any edge
+  stream into shards + manifest with bounded memory,
+* :class:`ShardedEdgeSource` — reads the shards **concurrently** (one
+  reader thread per in-flight shard, bounded read-ahead per shard) and
+  re-chunks through a bounded reorder buffer so the emitted chunk/eid
+  sequence is *bit-identical* to reading one concatenated file,
+* :class:`MmapEdgeSource` — serves zero-copy chunks straight out of an
+  ``np.memmap`` window for the uncompressed single-file case (also
+  usable on any uncompressed shard).
+
+Because shards partition the canonical edge stream contiguously, edge
+ids are still the global stream positions — the out-of-core drivers
+consume a manifest exactly like a single file, and the equivalence
+properties in ``tests/test_stream_shard.py`` pin bit-identity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GraphFormatError
+from repro.stream.reader import (
+    DEFAULT_CHUNK_SIZE,
+    EdgeChunk,
+    EdgeChunkSource,
+    _check_chunk_size,
+    _validate_chunk,
+)
+
+# Reuse the SpillFile frame encoding (header/frame structs and codec
+# table) for the compressed shard variant — one framing format on disk.
+from repro.stream.spill import _CODEC_NAMES, _CODECS, _FRAME, _HEADER
+
+__all__ = [
+    "ShardManifest",
+    "ShardWriter",
+    "ShardedEdgeSource",
+    "MmapEdgeSource",
+    "write_sharded_edges",
+    "read_shard_manifest",
+    "is_manifest_path",
+    "MANIFEST_SUFFIX",
+    "SHARD_MAGIC",
+    "SHARD_FORMAT",
+    "SHARD_VERSION",
+]
+
+#: canonical manifest filename suffix (``open_edge_source`` keys on it)
+MANIFEST_SUFFIX = ".manifest.json"
+
+#: ``format`` field value identifying a sharded edge-file manifest
+SHARD_FORMAT = "repro-sharded-edges"
+
+#: manifest (and framed-shard header) version this build writes
+SHARD_VERSION = 1
+
+#: magic bytes opening a framed (compressed) shard file
+SHARD_MAGIC = b"RSHD"
+
+#: decoded blocks each shard reader may hold ahead of the consumer
+DEFAULT_SHARD_READ_AHEAD = 2
+
+#: shards read concurrently (read-ahead beyond the one being consumed)
+DEFAULT_SHARD_WORKERS = 4
+
+_PAIR_DTYPE = np.dtype("<u4")  # shard payload: same as binary edge lists
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Parsed description of one sharded edge file set.
+
+    ``shard_paths`` are resolved against the manifest's directory, so a
+    manifest travels with its shards as one relocatable directory.
+    """
+
+    path: Path
+    num_edges: int
+    num_vertices: int | None
+    compression: str | None
+    shard_paths: tuple[Path, ...]
+    shard_edges: tuple[int, ...]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard files."""
+        return len(self.shard_paths)
+
+    def total_bytes(self) -> int:
+        """Bytes on disk across the manifest and every shard file."""
+        return self.path.stat().st_size + sum(
+            p.stat().st_size for p in self.shard_paths
+        )
+
+
+def is_manifest_path(path: "str | os.PathLike") -> bool:
+    """True when ``path`` names a shard manifest (by suffix)."""
+    name = str(path)
+    return name.endswith(MANIFEST_SUFFIX) or name.endswith(".json")
+
+
+def read_shard_manifest(path: "str | os.PathLike") -> ShardManifest:
+    """Load and validate a shard manifest written by :class:`ShardWriter`.
+
+    Raises :class:`~repro.errors.GraphFormatError` on anything that is
+    not a well-formed ``repro-sharded-edges`` manifest whose shard files
+    all exist and whose per-shard edge counts sum to the declared total.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise GraphFormatError(f"{path}: unreadable shard manifest: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != SHARD_FORMAT:
+        found = data.get("format") if isinstance(data, dict) else None
+        raise GraphFormatError(
+            f"{path}: not a {SHARD_FORMAT!r} manifest (format={found!r})"
+        )
+    if data.get("version") != SHARD_VERSION:
+        raise GraphFormatError(
+            f"{path}: unsupported manifest version {data.get('version')!r} "
+            f"(this build reads version {SHARD_VERSION})"
+        )
+    compression = data.get("compression")
+    if compression is not None and compression not in _CODECS:
+        raise GraphFormatError(
+            f"{path}: unknown shard compression {compression!r}; "
+            f"available: {', '.join(_CODECS)} (or null)"
+        )
+    shards = data.get("shards")
+    if not isinstance(shards, list) or not shards:
+        raise GraphFormatError(f"{path}: manifest lists no shards")
+    shard_paths: list[Path] = []
+    shard_edges: list[int] = []
+    for i, entry in enumerate(shards):
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("path"), str)
+            or not isinstance(entry.get("num_edges"), int)
+            or entry["num_edges"] < 0
+        ):
+            raise GraphFormatError(
+                f"{path}: shard entry {i} must carry 'path' and a "
+                f"non-negative 'num_edges', got {entry!r}"
+            )
+        shard = (path.parent / entry["path"]).resolve()
+        if not shard.exists():
+            raise GraphFormatError(f"{path}: missing shard file {shard}")
+        shard_paths.append(shard)
+        shard_edges.append(entry["num_edges"])
+    num_edges = data.get("num_edges")
+    if not isinstance(num_edges, int) or num_edges != sum(shard_edges):
+        raise GraphFormatError(
+            f"{path}: declared num_edges={num_edges!r} does not match the "
+            f"shard total {sum(shard_edges)}"
+        )
+    num_vertices = data.get("num_vertices")
+    if num_vertices is not None and (
+        not isinstance(num_vertices, int) or num_vertices < 0
+    ):
+        raise GraphFormatError(
+            f"{path}: num_vertices must be a non-negative integer or null"
+        )
+    return ShardManifest(
+        path=path,
+        num_edges=num_edges,
+        num_vertices=num_vertices,
+        compression=compression,
+        shard_paths=tuple(shard_paths),
+        shard_edges=tuple(shard_edges),
+    )
+
+
+def _manifest_stem(path: Path) -> tuple[Path, str]:
+    """Normalize an output path to (manifest path, shard-name stem)."""
+    name = path.name
+    if name.endswith(MANIFEST_SUFFIX):
+        stem = name[: -len(MANIFEST_SUFFIX)]
+    elif name.endswith(".json"):
+        stem = name[: -len(".json")]
+    else:
+        stem, path = name, path.with_name(name + MANIFEST_SUFFIX)
+    return path, stem
+
+
+class ShardWriter:
+    """Split an incoming edge stream into N shard files plus a manifest.
+
+    Parameters
+    ----------
+    out_path:
+        Manifest location; ``.manifest.json`` is appended when missing.
+        Shard files land next to it as ``<stem>.shard-<i>.bin``.
+    num_edges:
+        Total edges the stream will deliver (shard boundaries are fixed
+        upfront so readers can compute global edge ids per shard).
+    num_shards:
+        Number of contiguous shards to produce.
+    compression:
+        ``None`` for flat ``<u4`` pairs, ``"zlib"`` for the framed
+        variant (one frame per appended sub-block).
+    num_vertices:
+        Optional vertex-universe size recorded in the manifest, so a
+        read-back preserves trailing isolated vertices exactly like the
+        in-memory path.
+
+    The writer is a context manager; :meth:`close` writes the manifest
+    and returns the parsed :class:`ShardManifest`.  Appending more or
+    fewer than ``num_edges`` edges is a :class:`GraphFormatError`.
+    """
+
+    def __init__(
+        self,
+        out_path: "str | os.PathLike",
+        num_edges: int,
+        num_shards: int,
+        compression: str | None = None,
+        num_vertices: int | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        if num_edges < 0:
+            raise ConfigurationError(
+                f"num_edges must be >= 0, got {num_edges}"
+            )
+        if compression is not None and compression not in _CODECS:
+            raise ConfigurationError(
+                f"unknown shard compression {compression!r}; "
+                f"available: {', '.join(_CODECS)} (or None)"
+            )
+        self.path, stem = _manifest_stem(Path(out_path))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.num_edges = int(num_edges)
+        self.num_shards = int(num_shards)
+        self.compression = compression
+        self.num_vertices = num_vertices
+        base, extra = divmod(self.num_edges, self.num_shards)
+        self._targets = [
+            base + (1 if i < extra else 0) for i in range(self.num_shards)
+        ]
+        self._names = [
+            f"{stem}.shard-{i:04d}.bin" for i in range(self.num_shards)
+        ]
+        self._shard = 0
+        self._in_shard = 0
+        self._written = 0
+        self._fh = None
+        self._closed = False
+        self._manifest: ShardManifest | None = None
+
+    def _open_next(self):
+        """Open the current shard's file handle, writing its header."""
+        fh = open(self.path.parent / self._names[self._shard], "wb")
+        if self.compression is not None:
+            fh.write(
+                _HEADER.pack(SHARD_MAGIC, SHARD_VERSION,
+                             _CODECS[self.compression], 0)
+            )
+        return fh
+
+    def _write_block(self, block: np.ndarray) -> None:
+        """Encode one sub-block (entirely within the current shard)."""
+        if self.compression is None:
+            block.tofile(self._fh)
+        else:
+            payload = zlib.compress(block.tobytes())
+            self._fh.write(_FRAME.pack(len(payload), block.shape[0]))
+            self._fh.write(payload)
+
+    def append(self, pairs: np.ndarray) -> int:
+        """Append a block of ``(u, v)`` pairs, splitting across shards.
+
+        Returns the number of edges appended.  Ids must fit the uint32
+        shard payload; negatives or ids >= 2**32 raise
+        :class:`GraphFormatError`.
+        """
+        if self._closed:
+            raise ValueError("append() on a closed ShardWriter")
+        pairs = np.ascontiguousarray(pairs).reshape(-1, 2)
+        if pairs.shape[0] == 0:
+            return 0
+        if pairs.dtype.kind != "u" and int(pairs.min()) < 0:
+            raise GraphFormatError(
+                f"{self.path}: negative vertex id in shard payload"
+            )
+        if int(pairs.max()) >= 2**32:
+            raise GraphFormatError(
+                f"{self.path}: vertex ids exceed the uint32 shard format"
+            )
+        if self._written + pairs.shape[0] > self.num_edges:
+            raise GraphFormatError(
+                f"{self.path}: stream delivered more than the declared "
+                f"{self.num_edges} edges"
+            )
+        data = pairs.astype(_PAIR_DTYPE)
+        offset = 0
+        while offset < data.shape[0]:
+            # Advance past exhausted shards (zero-target shards included)
+            # so every shard file exists even when it holds no edges.
+            while self._fh is None or self._in_shard >= self._targets[self._shard]:
+                if self._fh is None:
+                    self._fh = self._open_next()
+                    continue
+                self._fh.close()
+                self._shard += 1
+                self._in_shard = 0
+                self._fh = self._open_next()
+            room = self._targets[self._shard] - self._in_shard
+            block = data[offset : offset + room]
+            self._write_block(block)
+            self._in_shard += block.shape[0]
+            offset += block.shape[0]
+        self._written += data.shape[0]
+        return data.shape[0]
+
+    def close(self) -> ShardManifest:
+        """Finish trailing empty shards, write the manifest, return it."""
+        if self._closed:
+            return self._manifest
+        if self._written != self.num_edges:
+            # Leave partial shard files behind for post-mortem, but fail.
+            if self._fh is not None:
+                self._fh.close()
+            self._closed = True
+            raise GraphFormatError(
+                f"{self.path}: stream delivered {self._written} of the "
+                f"declared {self.num_edges} edges"
+            )
+        if self._fh is None:
+            self._fh = self._open_next()
+        # Create any remaining (necessarily empty) shard files.
+        while self._shard < self.num_shards - 1:
+            self._fh.close()
+            self._shard += 1
+            self._in_shard = 0
+            self._fh = self._open_next()
+        self._fh.close()
+        self._fh = None
+        self._closed = True
+        manifest = {
+            "format": SHARD_FORMAT,
+            "version": SHARD_VERSION,
+            "num_edges": self.num_edges,
+            "num_vertices": self.num_vertices,
+            "compression": self.compression,
+            "shards": [
+                {"path": name, "num_edges": target}
+                for name, target in zip(self._names, self._targets)
+            ],
+        }
+        self.path.write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        )
+        self._manifest = read_shard_manifest(self.path)
+        return self._manifest
+
+    def abort(self) -> None:
+        """Release shard handles after a failure; no manifest is written.
+
+        Partial shard files are left behind for post-mortem, but without
+        a manifest no reader will consume them.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+def write_sharded_edges(
+    source,
+    out_path: "str | os.PathLike",
+    num_shards: int = 4,
+    compression: str | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> ShardManifest:
+    """Export any edge source as a sharded edge-file set.
+
+    ``source`` is anything :func:`~repro.stream.reader.open_edge_source`
+    accepts.  When the source cannot report its edge count upfront, one
+    extra counting sweep establishes it (shard boundaries are fixed
+    before any shard byte is written).  Memory stays bounded by
+    ``chunk_size`` edges throughout.
+    """
+    from repro.stream.reader import open_edge_source
+
+    src = open_edge_source(source, chunk_size)
+    total = src.num_edges
+    if total is None:
+        total = sum(chunk.num_edges for chunk in src)
+    with ShardWriter(
+        out_path,
+        num_edges=total,
+        num_shards=num_shards,
+        compression=compression,
+        num_vertices=src.num_vertices,
+    ) as writer:
+        for chunk in src:
+            writer.append(chunk.pairs)
+    return writer.close()
+
+
+#: queue sentinel marking the clean end of one shard's block stream
+_SHARD_END = object()
+
+
+class _ShardError:
+    """Envelope carrying a shard-reader exception to the consumer."""
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+class ShardedEdgeSource(EdgeChunkSource):
+    """Concurrent chunked reader over a sharded edge-file set.
+
+    One reader thread per in-flight shard decodes blocks into a bounded
+    per-shard queue (``read_ahead`` blocks deep); at most ``max_workers``
+    shards are in flight at once, so the reorder buffer holds at most
+    ``max_workers * read_ahead`` decoded blocks.  The consumer drains
+    shards strictly in manifest order and re-slices the stream to global
+    ``chunk_size`` boundaries, so the emitted chunk/eid sequence is
+    bit-identical to a single-file
+    :class:`~repro.stream.reader.BinaryFileEdgeSource` read of the
+    concatenated shards — concurrency is a pure throughput optimization.
+
+    Each ``__iter__`` call spawns fresh workers (restartable, so
+    multi-pass algorithms re-read freely); abandoning the iterator stops
+    and joins them.
+    """
+
+    def __init__(
+        self,
+        manifest: "str | os.PathLike | ShardManifest",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        read_ahead: int = DEFAULT_SHARD_READ_AHEAD,
+        max_workers: int = DEFAULT_SHARD_WORKERS,
+    ) -> None:
+        if not isinstance(manifest, ShardManifest):
+            manifest = read_shard_manifest(manifest)
+        if read_ahead < 1:
+            raise ConfigurationError(
+                f"read_ahead must be >= 1, got {read_ahead}"
+            )
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.manifest = manifest
+        self.chunk_size = _check_chunk_size(chunk_size)
+        self.read_ahead = int(read_ahead)
+        self.max_workers = int(max_workers)
+
+    # -- shard decoding (worker side) --------------------------------------
+
+    def _read_shard(self, index: int) -> Iterator[np.ndarray]:
+        """Yield validated int64 ``(c, 2)`` blocks of one shard."""
+        path = self.manifest.shard_paths[index]
+        expected = self.manifest.shard_edges[index]
+        if self.manifest.compression is None:
+            yield from self._read_flat(path, expected)
+        else:
+            yield from self._read_framed(path, expected)
+
+    def _read_flat(self, path: Path, expected: int) -> Iterator[np.ndarray]:
+        """Decode a flat ``<u4`` shard in bounded blocks."""
+        size = path.stat().st_size
+        if size != expected * 8:
+            raise GraphFormatError(
+                f"{path}: shard holds {size} bytes, expected "
+                f"{expected * 8} ({expected} edges per manifest)"
+            )
+        with open(path, "rb") as fh:
+            done = 0
+            while done < expected:
+                count = min(self.chunk_size, expected - done)
+                flat = np.fromfile(fh, dtype=_PAIR_DTYPE, count=count * 2)
+                if flat.size != count * 2:
+                    raise GraphFormatError(
+                        f"{path}: shard truncated at edge {done} "
+                        f"(read {flat.size} of {count * 2} values)"
+                    )
+                pairs = flat.reshape(-1, 2).astype(np.int64)
+                _validate_chunk(pairs, path)
+                yield pairs
+                done += count
+
+    def _read_framed(self, path: Path, expected: int) -> Iterator[np.ndarray]:
+        """Inflate a zlib-framed shard frame by frame."""
+        with open(path, "rb") as fh:
+            head = fh.read(_HEADER.size)
+            if len(head) < _HEADER.size:
+                raise GraphFormatError(f"{path}: shard header truncated")
+            magic, version, codec, _ = _HEADER.unpack(head)
+            if (
+                magic != SHARD_MAGIC
+                or version != SHARD_VERSION
+                or _CODEC_NAMES.get(codec) != self.manifest.compression
+            ):
+                raise GraphFormatError(
+                    f"{path}: shard header does not match manifest "
+                    f"compression={self.manifest.compression!r}"
+                )
+            done = 0
+            while done < expected:
+                frame = fh.read(_FRAME.size)
+                if len(frame) < _FRAME.size:
+                    raise GraphFormatError(
+                        f"{path}: shard truncated "
+                        f"({done} of {expected} edges)"
+                    )
+                payload_bytes, count = _FRAME.unpack(frame)
+                payload = fh.read(payload_bytes)
+                if len(payload) < payload_bytes:
+                    raise GraphFormatError(
+                        f"{path}: shard frame truncated "
+                        f"({done} of {expected} edges)"
+                    )
+                flat = np.frombuffer(
+                    zlib.decompress(payload), dtype=_PAIR_DTYPE
+                )
+                if flat.size != count * 2:
+                    raise GraphFormatError(
+                        f"{path}: shard frame decodes to {flat.size} "
+                        f"values, expected {count * 2}"
+                    )
+                pairs = flat.reshape(-1, 2).astype(np.int64)
+                _validate_chunk(pairs, path)
+                yield pairs
+                done += count
+            if done != expected:
+                raise GraphFormatError(
+                    f"{path}: shard delivered {done} of {expected} edges"
+                )
+
+    # -- concurrent iteration (consumer side) ------------------------------
+
+    def __iter__(self) -> Iterator[EdgeChunk]:
+        stop = threading.Event()
+        queues: dict[int, queue.Queue] = {}
+        workers: dict[int, threading.Thread] = {}
+
+        def _put(q: queue.Queue, item) -> bool:
+            while not stop.is_set():
+                try:
+                    q.put(item, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def _worker(index: int, q: queue.Queue) -> None:
+            try:
+                for block in self._read_shard(index):
+                    if not _put(q, block):
+                        return
+                _put(q, _SHARD_END)
+            except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
+                _put(q, _ShardError(exc))
+
+        def _launch(index: int) -> None:
+            if index in workers or index >= self.manifest.num_shards:
+                return
+            q: queue.Queue = queue.Queue(maxsize=self.read_ahead)
+            t = threading.Thread(
+                target=_worker, args=(index, q),
+                name=f"shard-reader-{index}", daemon=True,
+            )
+            queues[index], workers[index] = q, t
+            t.start()
+
+        buffers: list[np.ndarray] = []
+        buffered = 0
+        next_eid = 0
+
+        def _emit(count: int) -> EdgeChunk:
+            nonlocal buffers, buffered, next_eid
+            taken: list[np.ndarray] = []
+            need = count
+            while need:
+                head = buffers[0]
+                if head.shape[0] <= need:
+                    taken.append(head)
+                    buffers.pop(0)
+                    need -= head.shape[0]
+                else:
+                    taken.append(head[:need])
+                    buffers[0] = head[need:]
+                    need = 0
+            buffered -= count
+            pairs = taken[0] if len(taken) == 1 else np.vstack(taken)
+            eids = np.arange(next_eid, next_eid + count, dtype=np.int64)
+            next_eid += count
+            return EdgeChunk(pairs=pairs, eids=eids)
+
+        try:
+            for index in range(self.manifest.num_shards):
+                for ahead in range(index, index + self.max_workers):
+                    _launch(ahead)
+                q = queues[index]
+                while True:
+                    item = q.get()
+                    if item is _SHARD_END:
+                        break
+                    if isinstance(item, _ShardError):
+                        raise item.exc
+                    buffers.append(item)
+                    buffered += item.shape[0]
+                    while buffered >= self.chunk_size:
+                        yield _emit(self.chunk_size)
+                workers[index].join()
+            if buffered:
+                yield _emit(buffered)
+        finally:
+            stop.set()
+            for index, t in workers.items():
+                q = queues[index]
+                while t.is_alive():
+                    try:
+                        q.get_nowait()
+                    except queue.Empty:
+                        pass
+                    t.join(timeout=0.05)
+
+    @property
+    def num_edges(self) -> int:
+        """Total edge count declared by the manifest."""
+        return self.manifest.num_edges
+
+    @property
+    def num_vertices(self) -> int | None:
+        """Vertex universe recorded at export time (``None`` if absent)."""
+        return self.manifest.num_vertices
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the source."""
+        codec = self.manifest.compression or "raw"
+        return (
+            f"sharded {self.manifest.path} "
+            f"({self.manifest.num_shards} shards, {codec}, "
+            f"<= {self.max_workers} readers)"
+        )
+
+
+class MmapEdgeSource(EdgeChunkSource):
+    """Zero-copy chunked reader over a flat ``<u4`` binary edge list.
+
+    Chunks are read-only uint32 *views* into an ``np.memmap`` — no
+    per-chunk allocation or copy; the kernel pages data in on access.
+    Every downstream consumer (scan, spill, kernels, CSR build)
+    normalizes dtype per element or per block, so results are
+    bit-identical to :class:`~repro.stream.reader.BinaryFileEdgeSource`
+    — pinned by the equivalence tests.  Sequential (natural) order only.
+    """
+
+    def __init__(
+        self, path: "str | os.PathLike", chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> None:
+        self.path = Path(path)
+        self.chunk_size = _check_chunk_size(chunk_size)
+        size = self.path.stat().st_size
+        if size % 8 != 0:
+            raise GraphFormatError(
+                f"{self.path}: binary edge list length {size} is not a "
+                f"multiple of 8"
+            )
+        self._num_edges = size // 8
+        self._mm: np.memmap | None = None
+
+    def _window(self) -> np.ndarray:
+        """The whole file as a read-only ``(m, 2)`` uint32 view."""
+        if self._mm is None:
+            # np.memmap rejects empty files; the caller never reaches
+            # here with zero edges (the iterator returns early).
+            self._mm = np.memmap(self.path, dtype=_PAIR_DTYPE, mode="r")
+        if self._mm.size != self._num_edges * 2:
+            raise GraphFormatError(
+                f"{self.path}: file size changed under the mmap "
+                f"({self._mm.size} values mapped, "
+                f"{self._num_edges * 2} expected)"
+            )
+        return self._mm.reshape(-1, 2)
+
+    def __iter__(self) -> Iterator[EdgeChunk]:
+        if self._num_edges == 0:
+            return
+        pairs = self._window()
+        for start in range(0, self._num_edges, self.chunk_size):
+            block = pairs[start : start + self.chunk_size]
+            _validate_chunk(block, self.path)
+            eids = np.arange(
+                start, start + block.shape[0], dtype=np.int64
+            )
+            yield EdgeChunk(pairs=block, eids=eids)
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count derived from the file size (pairs of uint32)."""
+        return self._num_edges
+
+    def describe(self) -> str:
+        """Human-readable one-line description of the source."""
+        return f"mmap file {self.path}"

@@ -273,6 +273,83 @@ class TestExtsortCommand:
         assert src.stat().st_size == size
 
 
+class TestShardedCli:
+    """datasets --format sharded, extsort --shards, partition --mmap."""
+
+    def test_sharded_export_then_partition(self, tmp_path, capsys):
+        manifest = tmp_path / "lj.manifest.json"
+        rc = main(["datasets", "--export", "LJ", "--format", "sharded",
+                   "--shards", "3", "--output", str(manifest)])
+        assert rc == 0
+        assert "3 shards" in capsys.readouterr().out
+        assert main(["partition", str(manifest), "--k", "4",
+                     "--out-of-core", "--algo", "HDRF"]) == 0
+        # The manifest also feeds the in-memory path.
+        assert main(["partition", str(manifest), "--k", "4",
+                     "--method", "DBH"]) == 0
+
+    def test_sharded_export_compressed(self, tmp_path, capsys):
+        manifest = tmp_path / "lj.manifest.json"
+        rc = main(["datasets", "--export", "LJ", "--format", "sharded",
+                   "--shards", "2", "--compress", "zlib",
+                   "--output", str(manifest)])
+        assert rc == 0
+        assert "zlib" in capsys.readouterr().out
+        assert main(["partition", str(manifest), "--k", "4",
+                     "--out-of-core", "--tau", "1.0"]) == 0
+
+    def test_compress_requires_sharded_format(self, capsys):
+        rc = main(["datasets", "--export", "LJ", "--format", "binary",
+                   "--compress", "zlib"])
+        assert rc == 1
+        assert "sharded" in capsys.readouterr().err
+
+    def test_extsort_sharded_output(self, tmp_path, capsys):
+        src = tmp_path / "lj.bin"
+        assert main(["datasets", "--export", "LJ", "--format", "binary",
+                     "--output", str(src)]) == 0
+        manifest = tmp_path / "deg.manifest.json"
+        rc = main(["extsort", str(src), str(manifest), "--order", "degree",
+                   "--shards", "4", "--compress", "zlib"])
+        assert rc == 0
+        assert "shards" in capsys.readouterr().out
+        assert main(["partition", str(manifest), "--k", "4",
+                     "--out-of-core", "--algo", "Greedy"]) == 0
+
+    def test_extsort_compress_requires_shards(self, tmp_path, capsys):
+        src = tmp_path / "lj.bin"
+        assert main(["datasets", "--export", "LJ", "--format", "binary",
+                     "--output", str(src)]) == 0
+        rc = main(["extsort", str(src), str(tmp_path / "x.bin"),
+                   "--compress", "zlib"])
+        assert rc == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_mmap_partition(self, tmp_path, capsys):
+        src = tmp_path / "lj.bin"
+        assert main(["datasets", "--export", "LJ", "--format", "binary",
+                     "--output", str(src)]) == 0
+        rc = main(["partition", str(src), "--k", "4", "--out-of-core",
+                   "--algo", "HDRF", "--mmap"])
+        assert rc == 0
+        assert "replication factor" in capsys.readouterr().out
+
+    def test_mmap_requires_out_of_core(self, small_graph_file, capsys):
+        rc = main(["partition", str(small_graph_file), "--k", "2", "--mmap"])
+        assert rc == 1
+        assert "--out-of-core" in capsys.readouterr().err
+
+    def test_text_named_edges_errors(self, tmp_path, capsys):
+        """Regression: a text edge list named *.edges used to be parsed
+        as binary and silently partition garbage."""
+        path = tmp_path / "snap.edges"
+        path.write_text("0 1\n1 2\n2 0\n")
+        rc = main(["partition", str(path), "--k", "2", "--out-of-core",
+                   "--algo", "HDRF"])
+        assert rc == 1
+        assert "text" in capsys.readouterr().err
+
+
 class TestInMemoryRestreaming:
     def test_passes_honored_in_memory(self, small_graph_file, capsys):
         """Regression: --passes must reach the in-memory partitioner."""

@@ -1,9 +1,9 @@
 """Docstring lint for the documented public API.
 
-The ``repro.stream`` and ``repro.partition`` packages are the repo's
-documented out-of-core surface (see docs/): every module and every
-public class, function, method and property there must carry a
-docstring.  CI additionally runs ``ruff check`` with the pydocstyle
+The ``repro.stream``, ``repro.partition`` and ``repro.graph`` packages
+are the repo's documented out-of-core surface (see docs/): every module
+and every public class, function, method and property there must carry
+a docstring.  CI additionally runs ``ruff check`` with the pydocstyle
 ``D1`` rules over the same paths (see .github/workflows/ci.yml and the
 ``[tool.ruff]`` table in pyproject.toml); this AST-based test enforces
 the same contract without requiring ruff locally.
@@ -19,7 +19,7 @@ import pytest
 import repro
 
 _SRC = Path(repro.__file__).resolve().parent
-_LINTED_PACKAGES = ("stream", "partition")
+_LINTED_PACKAGES = ("stream", "partition", "graph")
 
 
 def _linted_files():

@@ -122,6 +122,68 @@ class TestFeedsDrivers:
         assert np.array_equal(result.parts, expected.parts)
 
 
+class TestShardedOutput:
+    """``num_shards`` lands the sorted stream pre-sharded (manifest + K)."""
+
+    @pytest.mark.parametrize("compression", [None, "zlib"])
+    @pytest.mark.parametrize("order", ["natural", "degree"])
+    def test_sharded_equals_flat(
+        self, skewed_graph, tmp_path, order, compression
+    ):
+        from repro.stream import ShardedEdgeSource
+
+        flat = tmp_path / "flat.bin"
+        external_sort_edges(skewed_graph, flat, order=order, chunk_size=64)
+        result = external_sort_edges(
+            skewed_graph, tmp_path / "sharded.manifest.json", order=order,
+            chunk_size=64, num_shards=3, compression=compression,
+        )
+        assert result.num_shards == 3
+        assert result.path.name == "sharded.manifest.json"
+        expected = np.vstack([c.pairs for c in BinaryFileEdgeSource(flat, 97)])
+        got = np.vstack(
+            [c.pairs for c in ShardedEdgeSource(result.path, 97)]
+        )
+        assert np.array_equal(got, expected)
+
+    def test_sharded_output_feeds_driver(self, skewed_graph, tmp_path):
+        result = external_sort_edges(
+            skewed_graph, tmp_path / "deg.manifest.json", order="degree",
+            chunk_size=64, num_shards=4,
+        )
+        flat = tmp_path / "deg.bin"
+        external_sort_edges(skewed_graph, flat, order="degree", chunk_size=64)
+        expected = StreamingPartitionerDriver("HDRF", chunk_size=64).partition(
+            flat, 4
+        )
+        got = StreamingPartitionerDriver("HDRF", chunk_size=64).partition(
+            str(result.path), 4
+        )
+        assert np.array_equal(got.parts, expected.parts)
+
+    def test_manifest_records_universe(self, skewed_graph, tmp_path):
+        from repro.stream import read_shard_manifest
+
+        result = external_sort_edges(
+            skewed_graph, tmp_path / "g.manifest.json", order="natural",
+            num_shards=2,
+        )
+        manifest = read_shard_manifest(result.path)
+        assert manifest.num_vertices == skewed_graph.num_vertices
+
+    def test_compression_without_shards_rejected(self, skewed_graph, tmp_path):
+        with pytest.raises(ConfigurationError):
+            external_sort_edges(
+                skewed_graph, tmp_path / "x.bin", compression="zlib"
+            )
+
+    def test_bad_shard_count_rejected(self, skewed_graph, tmp_path):
+        with pytest.raises(ConfigurationError):
+            external_sort_edges(
+                skewed_graph, tmp_path / "x.manifest.json", num_shards=0
+            )
+
+
 class TestErrors:
     def test_unsupported_order(self, skewed_graph, tmp_path):
         with pytest.raises(ConfigurationError):
@@ -142,3 +204,35 @@ class TestErrors:
         with pytest.raises(ConfigurationError):
             external_sort_edges(src, src, order=order)
         assert src.stat().st_size == size  # input untouched
+
+    def test_failed_sort_preserves_previous_output(
+        self, skewed_graph, tmp_path
+    ):
+        """Regression: the output is opened lazily, so a sort failing
+        during run generation must not truncate a pre-existing file."""
+        from repro.errors import GraphFormatError
+        from repro.stream import EdgeChunkSource, InMemoryEdgeSource
+
+        class FlakySource(EdgeChunkSource):
+            """Counting pass succeeds; the second sweep blows up."""
+
+            def __init__(self, graph):
+                self.inner = InMemoryEdgeSource(graph, 64)
+                self.chunk_size = 64
+                self.passes = 0
+
+            def __iter__(self):
+                self.passes += 1
+                if self.passes > 1:
+                    raise GraphFormatError("disk went away")
+                yield from self.inner
+
+        out = tmp_path / "out.bin"
+        external_sort_edges(skewed_graph, out, order="degree", chunk_size=64)
+        before = out.read_bytes()
+        assert before  # a previous successful sort exists
+        with pytest.raises(GraphFormatError, match="disk went away"):
+            external_sort_edges(
+                FlakySource(skewed_graph), out, order="degree", chunk_size=64
+            )
+        assert out.read_bytes() == before  # prior output untouched

@@ -112,6 +112,36 @@ class TestFileSources:
         with pytest.raises(GraphFormatError):
             BinaryFileEdgeSource(path, 10)
 
+    def test_negative_id_rejected_with_lineno(self, tmp_path):
+        """Regression: the in-memory Graph rejects negatives; the text
+        source must too, instead of negative-indexing degree arrays."""
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n-3 4\n")
+        with pytest.raises(GraphFormatError, match=r"g\.txt:3: negative"):
+            _collect(TextFileEdgeSource(path, 10))
+
+    def test_binary_truncated_before_iteration(self, graph, tmp_path):
+        """Regression: the edge count is computed at construction; a file
+        truncated before iteration must raise, not yield short chunks."""
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        src = BinaryFileEdgeSource(path, 2)
+        with open(path, "r+b") as fh:
+            fh.truncate(graph.num_edges * 8 - 16)  # drop two edges
+        with pytest.raises(GraphFormatError, match=r"g\.bin"):
+            _collect(src)
+
+    def test_binary_truncated_to_odd_tail(self, graph, tmp_path):
+        """An odd-length tail must raise GraphFormatError naming the
+        file, not a bare ValueError out of reshape."""
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        src = BinaryFileEdgeSource(path, 1000)
+        with open(path, "r+b") as fh:
+            fh.truncate(graph.num_edges * 8 - 4)  # half an edge
+        with pytest.raises(GraphFormatError, match=r"g\.bin"):
+            _collect(src)
+
 
 class TestMultiPassReiteration:
     """Restreaming's contract: every source re-reads identically.
@@ -249,3 +279,47 @@ class TestOpenEdgeSource:
         write_text_edgelist(graph, path)
         with pytest.raises(ConfigurationError):
             open_edge_source(path, 4, order="shuffled")
+
+
+class TestFormatSniffing:
+    """Regression: suffix alone used to decide text-vs-binary, so a text
+    edge list named ``*.edges`` (the SNAP convention) was parsed as flat
+    uint32 pairs and silently partitioned garbage."""
+
+    def test_text_content_with_binary_suffix_rejected(self, graph, tmp_path):
+        path = tmp_path / "snap.edges"
+        write_text_edgelist(graph, path)
+        with pytest.raises(GraphFormatError, match="text"):
+            open_edge_source(path, 4)
+
+    def test_binary_content_with_text_suffix_rejected(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        write_binary_edgelist(graph, path)
+        with pytest.raises(GraphFormatError, match="binary"):
+            open_edge_source(path, 4)
+
+    def test_matching_formats_pass(self, graph, tmp_path):
+        bin_path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, bin_path)
+        txt_path = tmp_path / "g.txt"
+        write_text_edgelist(graph, txt_path)
+        assert isinstance(open_edge_source(bin_path, 4), BinaryFileEdgeSource)
+        assert isinstance(open_edge_source(txt_path, 4), TextFileEdgeSource)
+
+    def test_empty_file_is_ambiguous_and_follows_suffix(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        src = open_edge_source(path, 4)
+        assert isinstance(src, BinaryFileEdgeSource)
+        assert src.num_edges == 0
+
+    def test_sniffed_garbage_partition_becomes_error(self, graph, tmp_path):
+        """The original failure mode end to end: a text file named
+        .edges fed to the out-of-core driver must raise, not produce a
+        garbage partition."""
+        from repro.stream import StreamingPartitionerDriver
+
+        path = tmp_path / "snap.edges"
+        write_text_edgelist(graph, path)
+        with pytest.raises(GraphFormatError):
+            StreamingPartitionerDriver("HDRF", chunk_size=4).partition(path, 2)
