@@ -84,6 +84,12 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                          "exists to select tau (drop one of them)")
     if args.prefetch < 0:
         raise ReproError(f"--prefetch must be >= 0, got {args.prefetch}")
+    if args.workers is not None and not args.out_of_core:
+        raise ReproError("--workers requires --out-of-core (worker "
+                         "processes stream shard files, not RAM)")
+    if args.batch is not None and args.workers is None:
+        raise ReproError("--batch sizes the per-worker superstep; it "
+                         "requires --workers")
     if args.out_of_core:
         return _partition_out_of_core(args)
     if args.memory_budget is not None:
@@ -151,9 +157,106 @@ def _partition_out_of_core(args: argparse.Namespace) -> int:
     if args.shards_dir:
         raise ReproError("--shards-dir needs the edge list in memory; "
                          "rerun without --out-of-core to write shards")
+    if args.workers is not None:
+        return _partition_multi_worker(args)
     if args.method.upper() == "HEP":
         return _out_of_core_hep(args)
     return _out_of_core_baseline(args)
+
+
+def _partition_multi_worker(args: argparse.Namespace) -> int:
+    """``--workers N``: shard-parallel partitioning on worker processes.
+
+    ``--algo HEP`` runs the budgeted HEP pipeline with a multi-process
+    streaming phase; ``--algo HDRF`` streams the whole file as informed
+    HDRF, one worker per shard assignment.  Both are bit-identical to
+    the in-process BSP schedule with the same workers/batch.
+    """
+    from repro.stream import DEFAULT_WORKER_BATCH
+
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    batch = DEFAULT_WORKER_BATCH if args.batch is None else args.batch
+    if batch < 1:
+        raise ReproError(f"--batch must be >= 1, got {batch}")
+    method = args.method.upper()
+    if method == "HEP":
+        return _multi_worker_hep(args, batch)
+    if method != "HDRF":
+        raise ReproError(
+            f"--workers supports HEP or HDRF (the BSP-parallelizable "
+            f"streaming kernels); got {args.method!r}"
+        )
+    if args.memory_budget is not None:
+        raise ReproError("--memory-budget tunes HEP's tau; multi-worker "
+                         "HDRF has no such knob")
+    if args.buffer_size is not None:
+        raise ReproError("--buffer-size applies to HEP's streaming phase")
+    if args.spill_dir is not None or args.spill_compression is not None:
+        raise ReproError("--spill-dir/--spill-compression apply to HEP's "
+                         "h2h spill; multi-worker HDRF never spills")
+    if args.mmap:
+        raise ReproError("--mmap applies to the single-reader drivers; "
+                         "workers stream their shard slices with buffered "
+                         "reads, so it has no effect here")
+    from repro.stream import MultiWorkerStreamingDriver
+
+    driver = MultiWorkerStreamingDriver(
+        workers=args.workers,
+        batch=batch,
+        chunk_size=args.chunk_size,
+        prefetch=args.prefetch,
+    )
+    result = driver.partition(args.graph, args.k)
+    print(f"partitioner        : {result.algorithm} (out-of-core, "
+          f"{args.workers} worker processes)")
+    print(f"source             : {args.graph} "
+          f"(n={result.num_vertices:,} m={result.num_edges:,})")
+    print(f"chunk size         : {result.chunk_size:,} edges")
+    _print_worker_report(result.report)
+    _print_ooc_quality(result, args.output)
+    return 0
+
+
+def _print_worker_report(report) -> None:
+    """Shared superstep summary of the multi-worker runs."""
+    if report is None:
+        return
+    print(f"bsp schedule       : {report.workers} workers x batch "
+          f"{report.batch} = {report.supersteps:,} supersteps "
+          f"({report.slow_supersteps} near capacity)")
+
+
+def _multi_worker_hep(args: argparse.Namespace, batch: int) -> int:
+    """HEP with a multi-process streaming phase (``--algo HEP --workers``)."""
+    from repro.stream import MultiWorkerHep
+
+    pipeline = MultiWorkerHep(
+        workers=args.workers,
+        batch=batch,
+        tau=args.tau,
+        memory_budget=args.memory_budget,
+        chunk_size=args.chunk_size,
+        buffer_size=args.buffer_size,
+        spill_dir=args.spill_dir,
+        spill_compression=args.spill_compression,
+        prefetch=args.prefetch,
+        mmap=args.mmap,
+    )
+    result = pipeline.partition(args.graph, args.k)
+    print(f"partitioner        : HEP-{result.tau:g} (out-of-core, "
+          f"{args.workers} worker processes)")
+    print(f"source             : {args.graph} "
+          f"(n={result.num_vertices:,} m={result.num_edges:,})")
+    print(f"chunk size         : {result.chunk_size:,} edges")
+    if result.projected_memory_bytes is not None:
+        print(f"memory budget      : {args.memory_budget:,} bytes "
+              f"(projected {result.projected_memory_bytes:,})")
+    print(f"h2h edges spilled  : {result.breakdown.num_h2h_edges:,} "
+          f"({result.spill_bytes:,} bytes on disk)")
+    _print_worker_report(pipeline.last_report)
+    _print_ooc_quality(result, args.output)
+    return 0
 
 
 def _print_ooc_quality(result, output: str | None) -> None:
@@ -388,6 +491,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "--out-of-core)")
     p.add_argument("--passes", type=int, default=None,
                    help="stream passes for --algo Restreaming (default 3)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="partition with N worker processes, one per shard "
+                        "assignment (--out-of-core; --algo HEP or HDRF)")
+    p.add_argument("--batch", type=int, default=None, metavar="B",
+                   help="edges each worker scores per BSP superstep "
+                        "(default 8; requires --workers)")
     p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser("compare", help="run several partitioners side by side")

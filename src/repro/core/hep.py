@@ -62,10 +62,12 @@ class HepPhaseBreakdown:
 
     @property
     def h2h_fraction(self) -> float:
+        """Fraction of all edges classified high/high (streamed)."""
         return self.num_h2h_edges / self.num_edges if self.num_edges else 0.0
 
     @property
     def rest_fraction(self) -> float:
+        """Fraction of all edges partitioned in memory by NE++."""
         return 1.0 - self.h2h_fraction
 
 
@@ -143,6 +145,7 @@ class HepPartitioner(Partitioner):
         self.name = f"HEP-{label}"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Run both HEP phases: NE++ then informed HDRF over h2h edges."""
         self._require_k(graph, k)
         phase_one = run_ne_plus_plus(graph, k, tau=self.tau)
         parts = self._stream_h2h(graph, k, phase_one)

@@ -126,6 +126,7 @@ class IncrementalHep:
 
     @property
     def num_edges(self) -> int:
+        """Number of currently alive (non-deleted) edges."""
         return self._num_alive
 
     def current_assignment(self) -> PartitionAssignment:
@@ -139,6 +140,7 @@ class IncrementalHep:
         return PartitionAssignment(graph, self.k, parts)
 
     def replication_factor(self) -> float:
+        """Replication factor of the maintained assignment."""
         replicas = (self.incidence > 0).sum(axis=0)
         covered = self.degrees > 0
         denom = max(int(covered.sum()), 1)

@@ -111,6 +111,7 @@ class NePlusPlusResult:
 
     @property
     def num_inmemory_edges(self) -> int:
+        """Edges phase one placed in memory (everything but h2h)."""
         return int(self.parts.shape[0]) - self.h2h.num_edges
 
     def to_assignment(self) -> PartitionAssignment:
@@ -460,6 +461,7 @@ class NePlusPlusPartitioner(Partitioner):
         self.name = "NE++"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Run NE++ alone (h2h edges placed by the fallback rule)."""
         self._require_k(graph, k)
         result = run_ne_plus_plus(
             graph, k, tau=TAU_UNPRUNED, record_degrees=self.record_degrees

@@ -45,6 +45,7 @@ class TauProfile:
     precompute_seconds: float
 
     def rows(self) -> list[dict[str, object]]:
+        """Tabular per-tau footprints for the CLI/experiment tables."""
         return [
             {"tau": t, "bytes": b, "MiB": round(b / 2**20, 3)}
             for t, b in zip(self.taus, self.bytes_per_tau)

@@ -28,5 +28,10 @@ class CapacityError(PartitioningError):
     """No partition has room for an edge under the balance constraint."""
 
 
+class WorkerFailureError(PartitioningError):
+    """A partitioning worker process failed (died, hung, or reported an
+    error); the message names the worker and the shard/segment it owned."""
+
+
 class ValidationError(ReproError, AssertionError):
     """A partitioning result violates a structural invariant."""

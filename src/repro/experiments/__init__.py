@@ -13,6 +13,7 @@ from repro.experiments import (
     figure7,
     figure8,
     figure9,
+    multi_worker,
     out_of_core,
     stream_order,
     table1,
@@ -41,6 +42,7 @@ REGISTRY = {
     "extensions": extensions.run,
     "stream_order": stream_order.run,
     "out_of_core": out_of_core.run,
+    "multi_worker": multi_worker.run,
 }
 
 __all__ = ["REGISTRY", "ExperimentResult"]

@@ -1,7 +1,10 @@
 """Parallel HEP — the paper's future-work direction on parallelism.
 
 See :mod:`repro.parallel.bsp_streaming` for the bulk-synchronous
-parallel streaming phase and :class:`ParallelHepPartitioner`.
+parallel streaming phase and :class:`ParallelHepPartitioner`;
+:mod:`repro.parallel.kernel` holds the snapshot-scoring / delta-merge
+kernels shared with the multi-process driver
+(:mod:`repro.stream.workers`).
 """
 
 from repro.parallel.bsp_streaming import (
@@ -9,5 +12,27 @@ from repro.parallel.bsp_streaming import (
     ParallelHepPartitioner,
     bsp_hdrf_stream,
 )
+from repro.parallel.kernel import (
+    apply_batch,
+    apply_delta,
+    contiguous_streams,
+    place_batch_serialized,
+    round_robin_streams,
+    score_batch_on_snapshot,
+    shard_round_robin_streams,
+    superstep_is_safe,
+)
 
-__all__ = ["ParallelHepPartitioner", "bsp_hdrf_stream", "BspStreamReport"]
+__all__ = [
+    "ParallelHepPartitioner",
+    "bsp_hdrf_stream",
+    "BspStreamReport",
+    "score_batch_on_snapshot",
+    "superstep_is_safe",
+    "place_batch_serialized",
+    "apply_batch",
+    "apply_delta",
+    "round_robin_streams",
+    "contiguous_streams",
+    "shard_round_robin_streams",
+]

@@ -29,8 +29,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.ne_plus_plus import run_ne_plus_plus
-from repro.errors import CapacityError, ConfigurationError
+from repro.errors import ConfigurationError
 from repro.graph.edgelist import Graph
+from repro.parallel.kernel import (
+    apply_batch,
+    place_batch_serialized,
+    round_robin_streams,
+    score_batch_on_snapshot,
+    superstep_is_safe,
+)
 from repro.partition.base import PartitionAssignment, Partitioner, capacity_bound
 from repro.partition.state import StreamingState
 
@@ -63,20 +70,36 @@ def bsp_hdrf_stream(
     batch: int = 8,
     lam: float = 1.1,
     eps: float = 1.0,
+    streams: "list[np.ndarray] | None" = None,
 ) -> BspStreamReport:
     """Stream ``edges`` through HDRF scoring under a BSP schedule.
 
     Mutates ``state`` and ``parts_out`` like
     :func:`repro.partition.hdrf.hdrf_stream`, but in supersteps of
     ``workers * batch`` edges scored against a frozen snapshot.
+
+    ``streams`` assigns ownership explicitly: one array of positions
+    into ``edges`` per worker, consumed in order, ``batch`` per
+    superstep.  ``None`` (the default) keeps the classic round-robin
+    split (:func:`~repro.parallel.kernel.round_robin_streams`).  The
+    multi-process driver (:mod:`repro.stream.workers`) runs this exact
+    schedule — same kernels, same stream construction — on real OS
+    processes, which is what makes this function its executable oracle.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     if batch < 1:
         raise ConfigurationError(f"batch must be >= 1, got {batch}")
     m = int(edges.shape[0])
-    # Round-robin ownership, as a distributed ingest layer would shard.
-    streams = [np.arange(w, m, workers) for w in range(workers)]
+    if streams is None:
+        # Round-robin ownership, as a distributed ingest layer would shard.
+        streams = round_robin_streams(m, workers)
+    elif len(streams) != workers:
+        raise ConfigurationError(
+            f"streams must list one eid array per worker "
+            f"({workers}), got {len(streams)}"
+        )
+    streamed = int(sum(s.size for s in streams))
     cursors = [0] * workers
     supersteps = 0
 
@@ -84,47 +107,33 @@ def bsp_hdrf_stream(
         snapshot_replicas = state.replicas.copy()
         snapshot_loads = state.loads.copy()
         supersteps += 1
+        # Fast path: when no partition can fill up this superstep, the
+        # live capacity mask never binds and every placement is a pure
+        # argmax over the snapshot scores — placeable vectorized.
+        safe = superstep_is_safe(snapshot_loads, workers, batch, state.capacity)
         for w in range(workers):
             take = streams[w][cursors[w] : cursors[w] + batch]
             cursors[w] += batch
-            for i in take.tolist():
-                u = int(edges[i, 0])
-                v = int(edges[i, 1])
-                p = _score_on_snapshot(
-                    snapshot_replicas, snapshot_loads, state, u, v, lam, eps
-                )
-                if p < 0:
-                    raise CapacityError("BSP stream: all partitions full")
-                # Local delta applies to the live state; the snapshot stays
-                # frozen until the barrier (= this loop's end).
-                state.place(u, v, p)
-                parts_out[eids[i]] = p
-    return BspStreamReport(workers, batch, supersteps, m)
-
-
-def _score_on_snapshot(
-    replicas: np.ndarray,
-    loads: np.ndarray,
-    state: StreamingState,
-    u: int,
-    v: int,
-    lam: float,
-    eps: float,
-) -> int:
-    du = state.degrees[u]
-    dv = state.degrees[v]
-    total = du + dv
-    theta_u = du / total if total else 0.5
-    theta_v = 1.0 - theta_u
-    score = replicas[:, u] * (2.0 - theta_u) + replicas[:, v] * (2.0 - theta_v)
-    maxload = loads.max()
-    minload = loads.min()
-    score = score + lam * (maxload - loads) / (eps + maxload - minload)
-    # The *capacity* check uses live loads: a real system enforces its
-    # hard bound at the (serialized) partition owner, not the snapshot.
-    score = np.where(state.loads < state.capacity, score, -np.inf)
-    p = int(np.argmax(score))
-    return -1 if score[p] == -np.inf else p
+            if take.size == 0:
+                continue
+            us = edges[take, 0]
+            vs = edges[take, 1]
+            scores = score_batch_on_snapshot(
+                snapshot_replicas, snapshot_loads, state.degrees,
+                us, vs, lam, eps,
+            )
+            if safe:
+                ps = np.argmax(scores, axis=1)
+                # Local delta applies to the live state; the snapshot
+                # stays frozen until the barrier (= this loop's end).
+                apply_batch(state, us, vs, ps)
+            else:
+                # The *capacity* check uses live loads: a real system
+                # enforces its hard bound at the (serialized) partition
+                # owner, not the snapshot.
+                ps = place_batch_serialized(state, us, vs, scores)
+            parts_out[eids[take]] = ps
+    return BspStreamReport(workers, batch, supersteps, streamed)
 
 
 class ParallelHepPartitioner(Partitioner):
@@ -158,6 +167,7 @@ class ParallelHepPartitioner(Partitioner):
         self.name = f"HEP-BSP-{tau:g}x{workers}"
 
     def partition(self, graph: Graph, k: int) -> PartitionAssignment:
+        """Run NE++, then stream the h2h edges on the BSP schedule."""
         self._require_k(graph, k)
         phase_one = run_ne_plus_plus(graph, k, tau=self.tau)
         parts = phase_one.parts

@@ -27,7 +27,12 @@ paper compares against:
 * :mod:`repro.stream.shard` — the sharded edge-file format (JSON
   manifest + N flat or zlib-framed shard files) with a concurrent
   :class:`ShardedEdgeSource` reader and a zero-copy
-  :class:`MmapEdgeSource` for uncompressed single files.
+  :class:`MmapEdgeSource` for uncompressed single files,
+* :mod:`repro.stream.workers` — multi-*worker* partitioning: ``N``
+  OS processes each stream their shard assignment against a shared
+  replica/load snapshot under the BSP schedule, bit-identical to the
+  in-process :func:`~repro.parallel.bsp_streaming.bsp_hdrf_stream`
+  (``partition --workers N --out-of-core``).
 """
 
 from repro.stream.buffered import buffered_hdrf_stream, stream_chunks_through_hdrf
@@ -62,7 +67,19 @@ from repro.stream.shard import (
     read_shard_manifest,
     write_sharded_edges,
 )
-from repro.stream.spill import SpillFile, read_spill_header
+from repro.stream.spill import SpillFile, read_spill_chunks, read_spill_header
+from repro.stream.workers import (
+    DEFAULT_WORKER_BATCH,
+    EdgeSegment,
+    MultiWorkerHep,
+    MultiWorkerReport,
+    MultiWorkerResult,
+    MultiWorkerStreamingDriver,
+    StateService,
+    WorkerPool,
+    plan_worker_segments,
+    split_spill_round_robin,
+)
 
 __all__ = [
     "EdgeChunk",
@@ -79,6 +96,17 @@ __all__ = [
     "chunked_quality",
     "SpillFile",
     "read_spill_header",
+    "read_spill_chunks",
+    "EdgeSegment",
+    "WorkerPool",
+    "StateService",
+    "MultiWorkerReport",
+    "MultiWorkerResult",
+    "MultiWorkerStreamingDriver",
+    "MultiWorkerHep",
+    "plan_worker_segments",
+    "split_spill_round_robin",
+    "DEFAULT_WORKER_BATCH",
     "buffered_hdrf_stream",
     "stream_chunks_through_hdrf",
     "OutOfCoreHep",

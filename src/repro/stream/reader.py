@@ -107,6 +107,18 @@ class EdgeChunkSource(abc.ABC):
         """Human-readable one-line description of the source."""
         return type(self).__name__
 
+    def close(self) -> None:
+        """Release any live resources (threads, handles, maps).
+
+        The base implementation is a no-op: plain file sources open and
+        close their handle inside each ``__iter__`` call.  Sources that
+        keep background threads or maps alive between ``next()`` calls
+        (:class:`PrefetchingEdgeSource`,
+        :class:`~repro.stream.shard.ShardedEdgeSource`,
+        :class:`~repro.stream.shard.MmapEdgeSource`) override this; it
+        must be idempotent and safe to call mid-iteration.
+        """
+
 
 def _check_chunk_size(chunk_size: int) -> int:
     if chunk_size < 1:
@@ -344,6 +356,21 @@ class PrefetchingEdgeSource(EdgeChunkSource):
         self.inner = inner
         self.depth = int(depth)
         self.chunk_size = inner.chunk_size
+        self._live: list[tuple[threading.Event, queue.Queue, threading.Thread]] = []
+
+    @staticmethod
+    def _shut_down(
+        stop: threading.Event, chunks: queue.Queue, worker: threading.Thread
+    ) -> None:
+        """Stop and reap one iteration's reader thread. Idempotent."""
+        stop.set()
+        # Drain so a blocked _put wakes up, then reap the worker.
+        while worker.is_alive():
+            try:
+                chunks.get_nowait()
+            except queue.Empty:
+                pass
+            worker.join(timeout=0.05)
 
     def __iter__(self) -> Iterator[EdgeChunk]:
         chunks: queue.Queue = queue.Queue(maxsize=self.depth)
@@ -371,24 +398,50 @@ class PrefetchingEdgeSource(EdgeChunkSource):
         worker = threading.Thread(
             target=_worker, name="edge-chunk-prefetch", daemon=True
         )
+        live = (stop, chunks, worker)
+        self._live.append(live)
         worker.start()
         try:
             while True:
-                item = chunks.get()
+                try:
+                    item = chunks.get(timeout=0.05)
+                except queue.Empty:
+                    # Poll so an external close() surfaces instead of
+                    # blocking on a queue no reader feeds anymore.
+                    if stop.is_set():
+                        raise ValueError(
+                            f"{self.describe()}: closed during iteration"
+                        ) from None
+                    continue
                 if item is _STREAM_END:
                     return
                 if isinstance(item, _PrefetchError):
                     raise item.exc
                 yield item
         finally:
-            stop.set()
-            # Drain so a blocked _put wakes up, then reap the worker.
-            while worker.is_alive():
+            self._shut_down(*live)
+            if live in self._live:
+                self._live.remove(live)
+
+    def close(self) -> None:
+        """Stop every in-flight iteration: join the reader, release fds.
+
+        Safe mid-iteration; resuming a closed iterator raises
+        ``ValueError`` while fresh ``__iter__`` calls keep working.
+        Also closes the wrapped inner source.  Idempotent.
+        """
+        for live in list(self._live):
+            self._shut_down(*live)
+            # Drop queued chunks and the iteration state now rather than
+            # waiting for the abandoned generator to be finalized (its
+            # own finally guards against the double removal).
+            while True:
                 try:
-                    chunks.get_nowait()
+                    live[1].get_nowait()
                 except queue.Empty:
-                    pass
-                worker.join(timeout=0.05)
+                    break
+        self._live.clear()
+        self.inner.close()
 
     @property
     def num_edges(self) -> int | None:

@@ -60,6 +60,8 @@ __all__ = [
     "MmapEdgeSource",
     "write_sharded_edges",
     "read_shard_manifest",
+    "read_flat_edge_blocks",
+    "read_framed_edge_blocks",
     "is_manifest_path",
     "MANIFEST_SUFFIX",
     "SHARD_MAGIC",
@@ -434,6 +436,108 @@ def write_sharded_edges(
     return writer.close()
 
 
+def read_flat_edge_blocks(
+    path: "str | os.PathLike",
+    expected: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    start_edge: int = 0,
+) -> Iterator[np.ndarray]:
+    """Decode a flat ``<u4`` pair file in bounded ``(c, 2)`` int64 blocks.
+
+    Reads ``expected`` edges beginning at edge ``start_edge`` (so a
+    contiguous *slice* of a flat file can serve as a virtual shard).
+    Validates the on-disk length upfront and every read against the
+    requested count — truncation raises
+    :class:`~repro.errors.GraphFormatError` naming the file.  Shared by
+    :class:`ShardedEdgeSource` readers and the multi-worker processes
+    (:mod:`repro.stream.workers`).
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if size < (start_edge + expected) * 8:
+        raise GraphFormatError(
+            f"{path}: file holds {size} bytes, expected at least "
+            f"{(start_edge + expected) * 8} "
+            f"({expected} edges from edge {start_edge})"
+        )
+    with open(path, "rb") as fh:
+        if start_edge:
+            fh.seek(start_edge * 8)
+        done = 0
+        while done < expected:
+            count = min(chunk_size, expected - done)
+            flat = np.fromfile(fh, dtype=_PAIR_DTYPE, count=count * 2)
+            if flat.size != count * 2:
+                raise GraphFormatError(
+                    f"{path}: shard truncated at edge {start_edge + done} "
+                    f"(read {flat.size} of {count * 2} values)"
+                )
+            pairs = flat.reshape(-1, 2).astype(np.int64)
+            _validate_chunk(pairs, path)
+            yield pairs
+            done += count
+
+
+def read_framed_edge_blocks(
+    path: "str | os.PathLike",
+    expected: int,
+    compression: str,
+) -> Iterator[np.ndarray]:
+    """Inflate a framed (compressed) shard file frame by frame.
+
+    Yields validated int64 ``(c, 2)`` blocks, one per frame; any header
+    mismatch or truncation raises
+    :class:`~repro.errors.GraphFormatError` naming the file.  Shared by
+    :class:`ShardedEdgeSource` readers and the multi-worker processes.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        head = fh.read(_HEADER.size)
+        if len(head) < _HEADER.size:
+            raise GraphFormatError(f"{path}: shard header truncated")
+        magic, version, codec, _ = _HEADER.unpack(head)
+        if (
+            magic != SHARD_MAGIC
+            or version != SHARD_VERSION
+            or _CODEC_NAMES.get(codec) != compression
+        ):
+            raise GraphFormatError(
+                f"{path}: shard header does not match manifest "
+                f"compression={compression!r}"
+            )
+        done = 0
+        while done < expected:
+            frame = fh.read(_FRAME.size)
+            if len(frame) < _FRAME.size:
+                raise GraphFormatError(
+                    f"{path}: shard truncated "
+                    f"({done} of {expected} edges)"
+                )
+            payload_bytes, count = _FRAME.unpack(frame)
+            payload = fh.read(payload_bytes)
+            if len(payload) < payload_bytes:
+                raise GraphFormatError(
+                    f"{path}: shard frame truncated "
+                    f"({done} of {expected} edges)"
+                )
+            flat = np.frombuffer(
+                zlib.decompress(payload), dtype=_PAIR_DTYPE
+            )
+            if flat.size != count * 2:
+                raise GraphFormatError(
+                    f"{path}: shard frame decodes to {flat.size} "
+                    f"values, expected {count * 2}"
+                )
+            pairs = flat.reshape(-1, 2).astype(np.int64)
+            _validate_chunk(pairs, path)
+            yield pairs
+            done += count
+        if done != expected:
+            raise GraphFormatError(
+                f"{path}: shard delivered {done} of {expected} edges"
+            )
+
+
 #: queue sentinel marking the clean end of one shard's block stream
 _SHARD_END = object()
 
@@ -443,6 +547,38 @@ class _ShardError:
 
     def __init__(self, exc: BaseException) -> None:
         self.exc = exc
+
+
+class _LiveIteration:
+    """Teardown handle for one in-flight concurrent iteration.
+
+    Holds the stop event, per-shard queues and reader threads of a
+    single ``__iter__`` call, so the iteration can be shut down both
+    from the generator's ``finally`` block *and* from
+    :meth:`ShardedEdgeSource.close` / :meth:`PrefetchingEdgeSource.
+    close` while the generator is suspended mid-stream.
+    """
+
+    def __init__(self) -> None:
+        self.stop = threading.Event()
+        self.queues: dict[int, queue.Queue] = {}
+        self.workers: dict[int, threading.Thread] = {}
+
+    def shut_down(self) -> None:
+        """Stop and join every reader thread; drain queues. Idempotent.
+
+        Joining the readers closes their file handles (each thread owns
+        its ``open``), so no fds outlive the call.
+        """
+        self.stop.set()
+        for index, thread in list(self.workers.items()):
+            q = self.queues[index]
+            while thread.is_alive():
+                try:
+                    q.get_nowait()
+                except queue.Empty:
+                    pass
+                thread.join(timeout=0.05)
 
 
 class ShardedEdgeSource(EdgeChunkSource):
@@ -484,6 +620,7 @@ class ShardedEdgeSource(EdgeChunkSource):
         self.chunk_size = _check_chunk_size(chunk_size)
         self.read_ahead = int(read_ahead)
         self.max_workers = int(max_workers)
+        self._live: list[_LiveIteration] = []
 
     # -- shard decoding (worker side) --------------------------------------
 
@@ -504,78 +641,22 @@ class ShardedEdgeSource(EdgeChunkSource):
                 f"{path}: shard holds {size} bytes, expected "
                 f"{expected * 8} ({expected} edges per manifest)"
             )
-        with open(path, "rb") as fh:
-            done = 0
-            while done < expected:
-                count = min(self.chunk_size, expected - done)
-                flat = np.fromfile(fh, dtype=_PAIR_DTYPE, count=count * 2)
-                if flat.size != count * 2:
-                    raise GraphFormatError(
-                        f"{path}: shard truncated at edge {done} "
-                        f"(read {flat.size} of {count * 2} values)"
-                    )
-                pairs = flat.reshape(-1, 2).astype(np.int64)
-                _validate_chunk(pairs, path)
-                yield pairs
-                done += count
+        yield from read_flat_edge_blocks(path, expected, self.chunk_size)
 
     def _read_framed(self, path: Path, expected: int) -> Iterator[np.ndarray]:
         """Inflate a zlib-framed shard frame by frame."""
-        with open(path, "rb") as fh:
-            head = fh.read(_HEADER.size)
-            if len(head) < _HEADER.size:
-                raise GraphFormatError(f"{path}: shard header truncated")
-            magic, version, codec, _ = _HEADER.unpack(head)
-            if (
-                magic != SHARD_MAGIC
-                or version != SHARD_VERSION
-                or _CODEC_NAMES.get(codec) != self.manifest.compression
-            ):
-                raise GraphFormatError(
-                    f"{path}: shard header does not match manifest "
-                    f"compression={self.manifest.compression!r}"
-                )
-            done = 0
-            while done < expected:
-                frame = fh.read(_FRAME.size)
-                if len(frame) < _FRAME.size:
-                    raise GraphFormatError(
-                        f"{path}: shard truncated "
-                        f"({done} of {expected} edges)"
-                    )
-                payload_bytes, count = _FRAME.unpack(frame)
-                payload = fh.read(payload_bytes)
-                if len(payload) < payload_bytes:
-                    raise GraphFormatError(
-                        f"{path}: shard frame truncated "
-                        f"({done} of {expected} edges)"
-                    )
-                flat = np.frombuffer(
-                    zlib.decompress(payload), dtype=_PAIR_DTYPE
-                )
-                if flat.size != count * 2:
-                    raise GraphFormatError(
-                        f"{path}: shard frame decodes to {flat.size} "
-                        f"values, expected {count * 2}"
-                    )
-                pairs = flat.reshape(-1, 2).astype(np.int64)
-                _validate_chunk(pairs, path)
-                yield pairs
-                done += count
-            if done != expected:
-                raise GraphFormatError(
-                    f"{path}: shard delivered {done} of {expected} edges"
-                )
+        yield from read_framed_edge_blocks(
+            path, expected, self.manifest.compression
+        )
 
     # -- concurrent iteration (consumer side) ------------------------------
 
     def __iter__(self) -> Iterator[EdgeChunk]:
-        stop = threading.Event()
-        queues: dict[int, queue.Queue] = {}
-        workers: dict[int, threading.Thread] = {}
+        live = _LiveIteration()
+        self._live.append(live)
 
         def _put(q: queue.Queue, item) -> bool:
-            while not stop.is_set():
+            while not live.stop.is_set():
                 try:
                     q.put(item, timeout=0.05)
                     return True
@@ -593,15 +674,27 @@ class ShardedEdgeSource(EdgeChunkSource):
                 _put(q, _ShardError(exc))
 
         def _launch(index: int) -> None:
-            if index in workers or index >= self.manifest.num_shards:
+            if index in live.workers or index >= self.manifest.num_shards:
                 return
             q: queue.Queue = queue.Queue(maxsize=self.read_ahead)
             t = threading.Thread(
                 target=_worker, args=(index, q),
                 name=f"shard-reader-{index}", daemon=True,
             )
-            queues[index], workers[index] = q, t
+            live.queues[index], live.workers[index] = q, t
             t.start()
+
+        def _get(q: queue.Queue):
+            # Poll so an external close() (stop set from another frame)
+            # surfaces instead of blocking on a queue no reader feeds.
+            while True:
+                try:
+                    return q.get(timeout=0.05)
+                except queue.Empty:
+                    if live.stop.is_set():
+                        raise ValueError(
+                            f"{self.describe()}: closed during iteration"
+                        ) from None
 
         buffers: list[np.ndarray] = []
         buffered = 0
@@ -631,9 +724,9 @@ class ShardedEdgeSource(EdgeChunkSource):
             for index in range(self.manifest.num_shards):
                 for ahead in range(index, index + self.max_workers):
                     _launch(ahead)
-                q = queues[index]
+                q = live.queues[index]
                 while True:
-                    item = q.get()
+                    item = _get(q)
                     if item is _SHARD_END:
                         break
                     if isinstance(item, _ShardError):
@@ -642,19 +735,35 @@ class ShardedEdgeSource(EdgeChunkSource):
                     buffered += item.shape[0]
                     while buffered >= self.chunk_size:
                         yield _emit(self.chunk_size)
-                workers[index].join()
+                live.workers[index].join()
             if buffered:
                 yield _emit(buffered)
         finally:
-            stop.set()
-            for index, t in workers.items():
-                q = queues[index]
-                while t.is_alive():
+            live.shut_down()
+            if live in self._live:
+                self._live.remove(live)
+
+    def close(self) -> None:
+        """Stop every in-flight iteration: join reader threads, free fds.
+
+        Safe to call mid-iteration (the regression this pins: abandoning
+        a concurrent read used to rely on generator finalization to reap
+        reader threads).  Resuming a closed iterator raises
+        ``ValueError``; fresh ``__iter__`` calls work normally.
+        Idempotent.
+        """
+        for live in list(self._live):
+            live.shut_down()
+            # Drop queued chunks and the iteration state now rather than
+            # waiting for the abandoned generator to be finalized (its
+            # own finally guards against the double removal).
+            for q in live.queues.values():
+                while True:
                     try:
                         q.get_nowait()
                     except queue.Empty:
-                        pass
-                    t.join(timeout=0.05)
+                        break
+        self._live.clear()
 
     @property
     def num_edges(self) -> int:
@@ -731,6 +840,14 @@ class MmapEdgeSource(EdgeChunkSource):
     def num_edges(self) -> int:
         """Edge count derived from the file size (pairs of uint32)."""
         return self._num_edges
+
+    def close(self) -> None:
+        """Drop the memmap so the mapping (and its fd) can be released.
+
+        Chunks already handed out keep the map alive through their own
+        references; the next ``__iter__`` re-maps lazily.  Idempotent.
+        """
+        self._mm = None
 
     def describe(self) -> str:
         """Human-readable one-line description of the source."""

@@ -39,7 +39,13 @@ import numpy as np
 
 from repro.errors import ConfigurationError, GraphFormatError
 
-__all__ = ["SpillFile", "read_spill_header", "SPILL_MAGIC", "SPILL_VERSION"]
+__all__ = [
+    "SpillFile",
+    "read_spill_header",
+    "read_spill_chunks",
+    "SPILL_MAGIC",
+    "SPILL_VERSION",
+]
 
 _RECORD_DTYPE = np.dtype("<i8")
 _RECORD_WIDTH = 3  # u, v, eid
@@ -96,6 +102,111 @@ def read_spill_header(path: str | os.PathLike) -> str | None:
                 return None
             fh.seek(offset)
         return _CODEC_NAMES[codec]
+
+
+def read_spill_chunks(
+    path: str | os.PathLike,
+    num_edges: int,
+    compression: str | None = None,
+    chunk_size: int = DEFAULT_SPILL_CHUNK,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Chunked ``(pairs, eids)`` sweep over an on-disk spill file.
+
+    The standalone counterpart of :meth:`SpillFile.chunks` for a file
+    *handed over* to an independent reader — e.g. a worker process
+    streaming a per-worker spill segment
+    (:mod:`repro.stream.workers`).  The writer must have synced
+    (:meth:`SpillFile.sync`) or closed first.  Truncation or a header
+    mismatch raises :class:`~repro.errors.GraphFormatError` naming the
+    file.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    path = Path(path)
+    if compression is None:
+        yield from _read_raw_records(path, num_edges, chunk_size)
+    else:
+        yield from _read_framed_records(
+            path, num_edges, compression, chunk_size
+        )
+
+
+def _read_raw_records(
+    path: Path, total: int, chunk_size: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Chunked sweep over the raw flat-record spill format."""
+    with open(path, "rb") as reader:
+        done = 0
+        while done < total:
+            count = min(chunk_size, total - done)
+            flat = np.fromfile(
+                reader, dtype=_RECORD_DTYPE, count=count * _RECORD_WIDTH
+            )
+            if flat.size != count * _RECORD_WIDTH:
+                raise GraphFormatError(
+                    f"{path}: spill file truncated "
+                    f"({done + flat.size // _RECORD_WIDTH} of {total} edges)"
+                )
+            records = flat.reshape(-1, _RECORD_WIDTH).astype(np.int64)
+            yield records[:, :2], records[:, 2]
+            done += count
+
+
+def _read_framed_records(
+    path: Path, total: int, compression: str, chunk_size: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Inflate spill frames one at a time, re-chunking to ``chunk_size``."""
+    done = 0
+    with open(path, "rb") as reader:
+        head = reader.read(_HEADER.size)
+        if len(head) < _HEADER.size:
+            raise GraphFormatError(f"{path}: spill header truncated")
+        magic, version, codec, _ = _HEADER.unpack(head)
+        if (
+            magic != SPILL_MAGIC
+            or version != SPILL_VERSION
+            or _CODEC_NAMES.get(codec) != compression
+        ):
+            raise GraphFormatError(
+                f"{path}: spill header does not match "
+                f"compression={compression!r}"
+            )
+        while done < total:
+            frame = reader.read(_FRAME.size)
+            if len(frame) < _FRAME.size:
+                raise GraphFormatError(
+                    f"{path}: spill file truncated "
+                    f"({done} of {total} edges)"
+                )
+            payload_bytes, count = _FRAME.unpack(frame)
+            if done + count > total:
+                # Frames align with append blocks, so a frame spilling
+                # past the declared total means the file and the caller's
+                # record count disagree — fail like the shard readers do
+                # rather than hand extra records downstream.
+                raise GraphFormatError(
+                    f"{path}: spill frame delivers {done + count} records, "
+                    f"expected {total}"
+                )
+            payload = reader.read(payload_bytes)
+            if len(payload) < payload_bytes:
+                raise GraphFormatError(
+                    f"{path}: spill frame truncated "
+                    f"({done} of {total} edges)"
+                )
+            flat = np.frombuffer(
+                zlib.decompress(payload), dtype=_RECORD_DTYPE
+            )
+            if flat.size != count * _RECORD_WIDTH:
+                raise GraphFormatError(
+                    f"{path}: spill frame decodes to {flat.size} "
+                    f"values, expected {count * _RECORD_WIDTH}"
+                )
+            records = flat.reshape(-1, _RECORD_WIDTH).astype(np.int64)
+            for start in range(0, count, chunk_size):
+                block = records[start : start + chunk_size]
+                yield block[:, :2], block[:, 2]
+            done += count
 
 
 class SpillFile:
@@ -220,77 +331,9 @@ class SpillFile:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.sync()
-        if self.compression is None:
-            yield from self._read_raw(chunk_size)
-        else:
-            yield from self._read_frames(chunk_size)
-
-    def _read_raw(
-        self, chunk_size: int
-    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        """Chunked sweep over the raw flat-record format."""
-        total = self._num_edges
-        with open(self.path, "rb") as reader:
-            done = 0
-            while done < total:
-                count = min(chunk_size, total - done)
-                flat = np.fromfile(
-                    reader, dtype=_RECORD_DTYPE, count=count * _RECORD_WIDTH
-                )
-                if flat.size != count * _RECORD_WIDTH:
-                    raise GraphFormatError(
-                        f"{self.path}: spill file truncated "
-                        f"({done + flat.size // _RECORD_WIDTH} of {total} edges)"
-                    )
-                records = flat.reshape(-1, _RECORD_WIDTH).astype(np.int64)
-                yield records[:, :2], records[:, 2]
-                done += count
-
-    def _read_frames(
-        self, chunk_size: int
-    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        """Inflate frames one at a time, re-chunking to ``chunk_size``."""
-        total = self._num_edges
-        done = 0
-        with open(self.path, "rb") as reader:
-            head = reader.read(_HEADER.size)
-            magic, version, codec, _ = _HEADER.unpack(head)
-            if (
-                magic != SPILL_MAGIC
-                or version != SPILL_VERSION
-                or _CODEC_NAMES.get(codec) != self.compression
-            ):
-                raise GraphFormatError(
-                    f"{self.path}: spill header does not match "
-                    f"compression={self.compression!r}"
-                )
-            while done < total:
-                frame = reader.read(_FRAME.size)
-                if len(frame) < _FRAME.size:
-                    raise GraphFormatError(
-                        f"{self.path}: spill file truncated "
-                        f"({done} of {total} edges)"
-                    )
-                payload_bytes, count = _FRAME.unpack(frame)
-                payload = reader.read(payload_bytes)
-                if len(payload) < payload_bytes:
-                    raise GraphFormatError(
-                        f"{self.path}: spill frame truncated "
-                        f"({done} of {total} edges)"
-                    )
-                flat = np.frombuffer(
-                    zlib.decompress(payload), dtype=_RECORD_DTYPE
-                )
-                if flat.size != count * _RECORD_WIDTH:
-                    raise GraphFormatError(
-                        f"{self.path}: spill frame decodes to {flat.size} "
-                        f"values, expected {count * _RECORD_WIDTH}"
-                    )
-                records = flat.reshape(-1, _RECORD_WIDTH).astype(np.int64)
-                for start in range(0, count, chunk_size):
-                    block = records[start : start + chunk_size]
-                    yield block[:, :2], block[:, 2]
-                done += count
+        yield from read_spill_chunks(
+            self.path, self._num_edges, self.compression, chunk_size
+        )
 
     def __len__(self) -> int:
         """Number of edges spilled so far."""

@@ -1,0 +1,1041 @@
+"""Multi-worker shard-parallel partitioning: BSP on real OS processes.
+
+The paper closes with "we aim to further improve the performance of HEP
+by focusing on parallelism and distribution".
+:mod:`repro.parallel.bsp_streaming` established the *semantics* of that
+direction — a bulk-synchronous streaming schedule — in one process;
+this module executes the same schedule on ``N`` worker **processes**,
+each streaming its own shard files from a
+:mod:`repro.stream.shard` manifest (or its own slice of a flat edge
+file, or its own h2h spill segment), so wall-clock parallelism is real
+rather than simulated.
+
+Architecture
+------------
+
+* **Workers** (:func:`_worker_main`) each hold a private snapshot copy
+  of the replica/load state.  Per superstep a worker reads the next
+  ``batch`` edges of its stream, scores them against its snapshot with
+  the *same kernel* the in-process schedule uses
+  (:func:`~repro.parallel.kernel.score_batch_on_snapshot`), and ships
+  the batch to the coordinator.
+* **The coordinator** (:class:`StateService` inside
+  :class:`WorkerPool`) owns the live state.  It merges worker batches
+  in worker order — replica marks OR-ed, loads summed — exactly as
+  :func:`~repro.parallel.bsp_streaming.bsp_hdrf_stream` specifies, then
+  broadcasts the merged delta; every worker applies it and the barrier
+  completes.
+* **The capacity fast path**: when no partition can reach capacity
+  within one superstep (:func:`~repro.parallel.kernel.
+  superstep_is_safe` — a pure function of superstep-start loads, so
+  workers and coordinator agree without communicating), placements are
+  pure argmaxes and workers send only ``(eid, u, v) + p``.  Near the
+  balance bound workers send full score matrices and the coordinator
+  places edge by edge under the live capacity mask
+  (:func:`~repro.parallel.kernel.place_batch_serialized`).  Both
+  branches are bit-identical to the in-process schedule — the
+  equivalence property ``tests/test_stream_workers.py`` pins.
+
+Messages are framed with the spill file's frame encoding
+(:data:`~repro.stream.spill` ``_FRAME``: ``<u4 payload_bytes, <u4
+record_count``) and batch/delta records are the spill's int64 triples —
+one wire format on disk and between processes.
+
+Failure handling: a worker that dies mid-superstep (killed, OOM, or a
+poisoned shard) surfaces as a single
+:class:`~repro.errors.WorkerFailureError` naming the worker and its
+shard/segment; the pool terminates and joins every remaining process
+(no orphans) and per-run temp state is removed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    PartitioningError,
+    WorkerFailureError,
+)
+from repro.parallel.kernel import (
+    apply_batch,
+    apply_delta,
+    contiguous_streams,
+    place_batch_serialized,
+    score_batch_on_snapshot,
+    shard_round_robin_streams,
+    superstep_is_safe,
+)
+from repro.partition.base import capacity_bound
+from repro.partition.state import StreamingState
+from repro.stream.pipeline import OutOfCoreHep
+from repro.stream.reader import (
+    DEFAULT_CHUNK_SIZE,
+    PrefetchingEdgeSource,
+    open_edge_source,
+)
+from repro.stream.scan import chunked_quality, scan_source
+from repro.stream.shard import (
+    is_manifest_path,
+    read_flat_edge_blocks,
+    read_framed_edge_blocks,
+    read_shard_manifest,
+)
+
+# One wire format: worker/coordinator messages reuse the spill file's
+# frame struct and int64 triple records (see repro.stream.spill).
+from repro.stream.spill import _FRAME, SpillFile, read_spill_chunks
+
+__all__ = [
+    "EdgeSegment",
+    "WorkerPool",
+    "StateService",
+    "MultiWorkerReport",
+    "MultiWorkerResult",
+    "MultiWorkerStreamingDriver",
+    "MultiWorkerHep",
+    "plan_worker_segments",
+    "split_spill_round_robin",
+    "DEFAULT_WORKER_BATCH",
+    "DEFAULT_WORKER_TIMEOUT",
+]
+
+#: per-worker edges scored per superstep (matches the in-process
+#: ``bsp_hdrf_stream`` default, so ``--workers N`` compares one-to-one)
+DEFAULT_WORKER_BATCH = 8
+
+#: seconds the coordinator waits on a silent worker before declaring it hung
+DEFAULT_WORKER_TIMEOUT = 120.0
+
+_TRIPLE = np.dtype("<i8")
+
+# message tags (one byte, prepended to the spill-style frame)
+_MSG_BATCH = b"B"   # worker -> coord: triples + chosen partitions (fast path)
+_MSG_SCORES = b"S"  # worker -> coord: triples + score matrix (near capacity)
+_MSG_DONE = b"D"    # worker -> coord: stream exhausted, worker exiting
+_MSG_ERROR = b"E"   # worker -> coord: pickled (type name, message)
+_MSG_DELTA = b"M"   # coord -> worker: merged (u, v, p) triples
+
+
+@dataclass(frozen=True)
+class EdgeSegment:
+    """One contiguous run of globally-identified edges a worker streams.
+
+    ``kind`` selects the on-disk decoding:
+
+    * ``"flat"`` — ``count`` flat ``<u4`` pairs starting at edge
+      ``start_edge`` of ``path`` (a whole uncompressed shard, or a
+      virtual shard of a single flat edge file); edge ids are
+      ``eid_start + position``,
+    * ``"framed"`` — a whole zlib-framed shard file; edge ids are
+      ``eid_start + position``,
+    * ``"spill"`` — spill-format ``(u, v, eid)`` triples (h2h segments
+      written by :func:`split_spill_round_robin`); edge ids travel in
+      the records and ``eid_start`` is unused.
+    """
+
+    path: str
+    count: int
+    eid_start: int = 0
+    kind: str = "flat"
+    start_edge: int = 0
+    compression: str | None = None
+
+    def describe(self) -> str:
+        """Short human-readable form used in failure messages."""
+        if self.kind == "flat" and self.start_edge:
+            return (
+                f"{self.path}[{self.start_edge}:"
+                f"{self.start_edge + self.count}]"
+            )
+        return self.path
+
+
+def _iter_segment(
+    segment: EdgeSegment, chunk_size: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(pairs, eids)`` blocks of one segment, bounded by chunks."""
+    if segment.kind == "flat":
+        eid = segment.eid_start
+        for pairs in read_flat_edge_blocks(
+            segment.path, segment.count, chunk_size, segment.start_edge
+        ):
+            eids = np.arange(eid, eid + pairs.shape[0], dtype=np.int64)
+            eid += pairs.shape[0]
+            yield pairs, eids
+    elif segment.kind == "framed":
+        eid = segment.eid_start
+        for pairs in read_framed_edge_blocks(
+            segment.path, segment.count, segment.compression
+        ):
+            eids = np.arange(eid, eid + pairs.shape[0], dtype=np.int64)
+            eid += pairs.shape[0]
+            yield pairs, eids
+    elif segment.kind == "spill":
+        yield from read_spill_chunks(
+            segment.path, segment.count, segment.compression, chunk_size
+        )
+    else:
+        raise ConfigurationError(f"unknown segment kind {segment.kind!r}")
+
+
+def _iter_batches(
+    segments: Sequence[EdgeSegment], batch: int, chunk_size: int
+) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Re-slice a worker's segments into ``(us, vs, eids)`` batches.
+
+    Exactly ``batch`` edges per emission (the final one may be short),
+    crossing segment boundaries — the worker-process equivalent of
+    ``streams[w][cursor : cursor + batch]`` in the in-process schedule.
+    """
+    pairs_buf: list[np.ndarray] = []
+    eids_buf: list[np.ndarray] = []
+    have = 0
+
+    def _emit(count: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        nonlocal have
+        taken_p: list[np.ndarray] = []
+        taken_e: list[np.ndarray] = []
+        need = count
+        while need:
+            head_p, head_e = pairs_buf[0], eids_buf[0]
+            if head_p.shape[0] <= need:
+                taken_p.append(head_p)
+                taken_e.append(head_e)
+                pairs_buf.pop(0)
+                eids_buf.pop(0)
+                need -= head_p.shape[0]
+            else:
+                taken_p.append(head_p[:need])
+                taken_e.append(head_e[:need])
+                pairs_buf[0] = head_p[need:]
+                eids_buf[0] = head_e[need:]
+                need = 0
+        have -= count
+        pairs = taken_p[0] if len(taken_p) == 1 else np.vstack(taken_p)
+        eids = taken_e[0] if len(taken_e) == 1 else np.concatenate(taken_e)
+        return pairs[:, 0], pairs[:, 1], eids
+
+    for segment in segments:
+        for pairs, eids in _iter_segment(segment, chunk_size):
+            if pairs.shape[0] == 0:
+                continue
+            pairs_buf.append(np.asarray(pairs, dtype=np.int64))
+            eids_buf.append(np.asarray(eids, dtype=np.int64))
+            have += pairs.shape[0]
+            while have >= batch:
+                yield _emit(batch)
+    if have:
+        yield _emit(have)
+
+
+# -- wire format ------------------------------------------------------------
+
+
+def _pack_message(tag: bytes, count: int, *blobs: bytes) -> bytes:
+    """Frame a message: tag byte + spill ``_FRAME`` header + payload."""
+    payload = b"".join(blobs)
+    return tag + _FRAME.pack(len(payload), count) + payload
+
+
+def _unpack_message(blob: bytes) -> tuple[bytes, int, memoryview]:
+    """Split a framed message into (tag, record count, payload view)."""
+    tag = blob[:1]
+    payload_bytes, count = _FRAME.unpack_from(blob, 1)
+    payload = memoryview(blob)[1 + _FRAME.size :]
+    if len(payload) != payload_bytes:
+        raise WorkerFailureError(
+            f"corrupt worker message: frame declares {payload_bytes} "
+            f"payload bytes, got {len(payload)}"
+        )
+    return tag, count, payload
+
+
+def _pack_triples(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> bytes:
+    """Encode three parallel int64 columns as spill-style triples."""
+    records = np.empty((a.shape[0], 3), dtype=_TRIPLE)
+    records[:, 0] = a
+    records[:, 1] = b
+    records[:, 2] = c
+    return records.tobytes()
+
+
+def _unpack_triples(
+    payload: memoryview, count: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode spill-style triples back into three int64 columns."""
+    records = np.frombuffer(payload, dtype=_TRIPLE, count=count * 3)
+    records = records.reshape(count, 3)
+    return records[:, 0], records[:, 1], records[:, 2]
+
+
+# -- worker process ---------------------------------------------------------
+
+
+def _worker_main(
+    worker_id: int,
+    pipes: list,
+    segments: Sequence[EdgeSegment],
+    num_vertices: int,
+    k: int,
+    capacity: int,
+    degrees: np.ndarray,
+    init_replicas: np.ndarray | None,
+    init_loads: np.ndarray | None,
+    workers: int,
+    batch: int,
+    lam: float,
+    eps: float,
+    chunk_size: int,
+) -> None:
+    """Entry point of one worker process (module-level for spawnability).
+
+    Holds a private snapshot of the replica/load state, streams its
+    segments in ``batch``-edge steps, and participates in the BSP
+    barrier protocol described in the module docstring.  Any exception
+    is shipped to the coordinator as an ``ERROR`` message before a clean
+    exit — the coordinator turns it into one
+    :class:`~repro.errors.WorkerFailureError`.
+    """
+    conn = pipes[worker_id][1]
+    # Close every inherited pipe end that is not ours, so EOF detection
+    # and fd hygiene survive the fork.
+    for i, (parent_end, child_end) in enumerate(pipes):
+        try:
+            parent_end.close()
+            if i != worker_id:
+                child_end.close()
+        except OSError:
+            pass
+    try:
+        if init_replicas is None:
+            replicas = np.zeros((k, num_vertices), dtype=bool)
+        else:
+            replicas = np.array(init_replicas, dtype=bool)
+        if init_loads is None:
+            loads = np.zeros(k, dtype=np.int64)
+        else:
+            loads = np.asarray(init_loads, dtype=np.int64).copy()
+        degrees = np.asarray(degrees, dtype=np.int64)
+
+        for us, vs, eids in _iter_batches(segments, batch, chunk_size):
+            safe = superstep_is_safe(loads, workers, batch, capacity)
+            scores = score_batch_on_snapshot(
+                replicas, loads, degrees, us, vs, lam, eps
+            )
+            triples = _pack_triples(eids, us, vs)
+            if safe:
+                ps = np.argmax(scores, axis=1)
+                conn.send_bytes(
+                    _pack_message(
+                        _MSG_BATCH, us.shape[0], triples,
+                        ps.astype(_TRIPLE).tobytes(),
+                    )
+                )
+            else:
+                conn.send_bytes(
+                    _pack_message(
+                        _MSG_SCORES, us.shape[0], triples,
+                        np.ascontiguousarray(
+                            scores, dtype="<f8"
+                        ).tobytes(),
+                    )
+                )
+            tag, count, payload = _unpack_message(conn.recv_bytes())
+            if tag != _MSG_DELTA:
+                raise WorkerFailureError(
+                    f"worker {worker_id}: expected a delta, got {tag!r}"
+                )
+            dus, dvs, dps = _unpack_triples(payload, count)
+            apply_delta(replicas, loads, dus, dvs, dps)
+        conn.send_bytes(_pack_message(_MSG_DONE, 0))
+    except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
+        try:
+            conn.send_bytes(
+                _pack_message(
+                    _MSG_ERROR, 0,
+                    pickle.dumps((type(exc).__name__, str(exc))),
+                )
+            )
+        except OSError:
+            pass  # coordinator already gone; exit quietly
+    finally:
+        conn.close()
+
+
+# -- coordinator ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MultiWorkerReport:
+    """What one multi-process BSP run did (the schedule's shape)."""
+
+    workers: int
+    batch: int
+    supersteps: int
+    edges_streamed: int
+    fast_supersteps: int
+    slow_supersteps: int
+
+    @property
+    def modeled_speedup(self) -> float:
+        """Sequential edge-rounds over BSP supersteps (ideal network)."""
+        if self.supersteps == 0:
+            return 1.0
+        return self.edges_streamed / (self.supersteps * self.batch)
+
+
+class StateService:
+    """Coordinator side of the shared state: live merge + protocol checks.
+
+    Owns the single live :class:`~repro.partition.state.StreamingState`
+    and applies every worker batch to it in worker order, exactly as the
+    in-process schedule does.  Workers never mutate shared state — they
+    propose placements (fast path) or scores (near capacity), and this
+    service is the serialized owner that commits them.
+    """
+
+    def __init__(
+        self,
+        state: StreamingState,
+        parts: np.ndarray,
+        workers: int,
+        batch: int,
+    ) -> None:
+        self.state = state
+        self.parts = parts
+        self.workers = workers
+        self.batch = batch
+        self.edges_streamed = 0
+
+    def begin_superstep(self) -> bool:
+        """Compute the fast-path predicate from superstep-start loads."""
+        return superstep_is_safe(
+            self.state.loads, self.workers, self.batch, self.state.capacity
+        )
+
+    def merge(
+        self,
+        worker_id: int,
+        tag: bytes,
+        count: int,
+        payload: memoryview,
+        safe: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Commit one worker's batch; returns ``(us, vs, ps)`` for the delta."""
+        triple_bytes = count * 3 * _TRIPLE.itemsize
+        eids, us, vs = _unpack_triples(payload[:triple_bytes], count)
+        if tag == _MSG_BATCH:
+            if not safe:
+                raise WorkerFailureError(
+                    f"protocol divergence: worker {worker_id} took the "
+                    f"fast path in a near-capacity superstep"
+                )
+            ps = np.frombuffer(
+                payload[triple_bytes:], dtype=_TRIPLE, count=count
+            )
+            apply_batch(self.state, us, vs, ps)
+        else:
+            if safe:
+                raise WorkerFailureError(
+                    f"protocol divergence: worker {worker_id} sent scores "
+                    f"in a safe superstep"
+                )
+            scores = np.frombuffer(
+                payload[triple_bytes:], dtype="<f8", count=count * self.state.k
+            ).reshape(count, self.state.k)
+            ps = place_batch_serialized(self.state, us, vs, scores)
+        self.parts[eids] = ps
+        self.edges_streamed += count
+        return us, vs, ps
+
+
+class WorkerPool:
+    """N worker processes + pipes driving one BSP run (context manager).
+
+    Parameters
+    ----------
+    worker_segments:
+        One list of :class:`EdgeSegment` per worker (may be empty — the
+        worker reports DONE immediately).
+    state:
+        The coordinator's live state; its replica/load arrays (and
+        degrees/capacity) seed every worker's snapshot.
+    batch:
+        Edges each worker scores per superstep.
+    chunk_size:
+        I/O block size for the workers' segment readers.
+    mp_context:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (cheap, inherits the init arrays) and falls back to ``spawn``.
+    timeout:
+        Seconds the coordinator waits on a silent worker before raising
+        :class:`~repro.errors.WorkerFailureError`.
+    """
+
+    def __init__(
+        self,
+        worker_segments: Sequence[Sequence[EdgeSegment]],
+        state: StreamingState,
+        batch: int = DEFAULT_WORKER_BATCH,
+        lam: float = 1.1,
+        eps: float = 1.0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        mp_context: str | None = None,
+        timeout: float = DEFAULT_WORKER_TIMEOUT,
+    ) -> None:
+        if not worker_segments:
+            raise ConfigurationError("worker_segments must name >= 1 worker")
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        self.worker_segments = [list(segs) for segs in worker_segments]
+        self.workers = len(self.worker_segments)
+        self.state = state
+        self.batch = int(batch)
+        self.lam = lam
+        self.eps = eps
+        self.chunk_size = int(chunk_size)
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self.mp_context = mp_context
+        self.timeout = float(timeout)
+        self._procs: list = []
+        self._conns: list = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Fork the workers; each gets its segments and a state snapshot."""
+        if self._procs:
+            raise ConfigurationError("WorkerPool already started")
+        ctx = multiprocessing.get_context(self.mp_context)
+        pipes = [ctx.Pipe(duplex=True) for _ in range(self.workers)]
+        state = self.state
+        try:
+            for w in range(self.workers):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        w,
+                        pipes,
+                        self.worker_segments[w],
+                        state.num_vertices,
+                        state.k,
+                        state.capacity,
+                        state.degrees,
+                        state.replicas,
+                        state.loads,
+                        self.workers,
+                        self.batch,
+                        self.lam,
+                        self.eps,
+                        self.chunk_size,
+                    ),
+                    name=f"repro-worker-{w}",
+                    daemon=True,
+                )
+                proc.start()
+                self._procs.append(proc)
+        except BaseException:
+            # A failed spawn must not leak the processes already forked.
+            self.close()
+            raise
+        for parent_end, child_end in pipes:
+            child_end.close()
+            self._conns.append(parent_end)
+
+    @property
+    def pids(self) -> list[int]:
+        """Worker process ids (for monitoring and failure injection)."""
+        return [proc.pid for proc in self._procs]
+
+    def close(self) -> None:
+        """Terminate and join every worker; close every pipe. Idempotent."""
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conns = []
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+        self._procs = []
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- protocol -----------------------------------------------------------
+
+    def _describe_worker(self, w: int) -> str:
+        segments = self.worker_segments[w]
+        if not segments:
+            return f"worker {w} (no segments)"
+        names = ", ".join(seg.describe() for seg in segments)
+        return f"worker {w} (segments: {names})"
+
+    def _worker_died(self, w: int) -> WorkerFailureError:
+        exitcode = self._procs[w].exitcode
+        return WorkerFailureError(
+            f"{self._describe_worker(w)} died mid-superstep "
+            f"(exit code {exitcode}) before finishing its stream"
+        )
+
+    def _recv(self, w: int) -> bytes:
+        """Receive one message from worker ``w``, watching its liveness."""
+        conn = self._conns[w]
+        proc = self._procs[w]
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                if conn.poll(0.05):
+                    return conn.recv_bytes()
+            except (EOFError, OSError):
+                raise self._worker_died(w) from None
+            if not proc.is_alive():
+                # Drain a final message that raced with the exit.
+                try:
+                    if conn.poll(0.25):
+                        return conn.recv_bytes()
+                except (EOFError, OSError):
+                    pass
+                raise self._worker_died(w)
+            if time.monotonic() > deadline:
+                raise WorkerFailureError(
+                    f"{self._describe_worker(w)} sent nothing for "
+                    f"{self.timeout:.0f}s; presumed hung"
+                )
+
+    def _raise_worker_error(self, w: int, payload: memoryview) -> None:
+        try:
+            exc_type, message = pickle.loads(bytes(payload))
+        except Exception:  # noqa: BLE001 — corrupt error payloads
+            exc_type, message = "unknown error", "<undecodable payload>"
+        raise WorkerFailureError(
+            f"{self._describe_worker(w)} failed: {exc_type}: {message}"
+        )
+
+    def run(self, parts: np.ndarray) -> MultiWorkerReport:
+        """Drive supersteps until every worker reports DONE.
+
+        Mutates ``self.state`` (the live state) and ``parts`` exactly
+        like the in-process ``bsp_hdrf_stream`` with the same
+        workers/batch/streams.  Any worker failure raises one
+        :class:`~repro.errors.WorkerFailureError` after the pool is
+        cleaned up by the surrounding context manager.
+        """
+        if not self._procs:
+            raise ConfigurationError("WorkerPool.run() before start()")
+        service = StateService(self.state, parts, self.workers, self.batch)
+        active = list(range(self.workers))
+        supersteps = 0
+        fast = 0
+        slow = 0
+        while active:
+            safe = service.begin_superstep()
+            messages = []
+            for w in active:
+                tag, count, payload = _unpack_message(self._recv(w))
+                messages.append((w, tag, count, payload))
+            delta_us: list[np.ndarray] = []
+            delta_vs: list[np.ndarray] = []
+            delta_ps: list[np.ndarray] = []
+            senders: list[int] = []
+            for w, tag, count, payload in messages:
+                if tag == _MSG_DONE:
+                    active.remove(w)
+                    continue
+                if tag == _MSG_ERROR:
+                    self._raise_worker_error(w, payload)
+                us, vs, ps = service.merge(w, tag, count, payload, safe)
+                delta_us.append(us)
+                delta_vs.append(vs)
+                delta_ps.append(ps)
+                senders.append(w)
+            if not senders:
+                continue
+            supersteps += 1
+            if safe:
+                fast += 1
+            else:
+                slow += 1
+            delta = _pack_message(
+                _MSG_DELTA,
+                sum(u.shape[0] for u in delta_us),
+                _pack_triples(
+                    np.concatenate(delta_us),
+                    np.concatenate(delta_vs),
+                    np.concatenate(delta_ps),
+                ),
+            )
+            for w in senders:
+                try:
+                    self._conns[w].send_bytes(delta)
+                except (BrokenPipeError, OSError):
+                    raise self._worker_died(w) from None
+        return MultiWorkerReport(
+            workers=self.workers,
+            batch=self.batch,
+            supersteps=supersteps,
+            edges_streamed=service.edges_streamed,
+            fast_supersteps=fast,
+            slow_supersteps=slow,
+        )
+
+
+# -- planning ---------------------------------------------------------------
+
+
+def plan_worker_segments(
+    source: "str | os.PathLike",
+    workers: int,
+) -> tuple[list[list[EdgeSegment]], list[np.ndarray], int, int | None]:
+    """Assign a sharded manifest (or flat edge file) to ``workers`` workers.
+
+    Returns ``(segments_per_worker, eid_streams, num_edges,
+    num_vertices)``.  For a manifest, shards are dealt round-robin —
+    worker ``w`` streams shards ``w, w+N, ...`` in manifest order, so
+    every shard file is read by exactly one process.  A flat binary
+    edge file is *virtually* sharded into one contiguous range per
+    worker.  ``eid_streams`` are the same ownership expressed as global
+    edge-id arrays — feed them to
+    :func:`~repro.parallel.bsp_streaming.bsp_hdrf_stream` to run the
+    identical schedule in process (the equivalence oracle).
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    path = Path(source)
+    if not path.exists():
+        raise ConfigurationError(f"{path}: no such edge file or manifest")
+    if is_manifest_path(path):
+        manifest = read_shard_manifest(path)
+        offsets = [0]
+        for count in manifest.shard_edges:
+            offsets.append(offsets[-1] + count)
+        kind = "flat" if manifest.compression is None else "framed"
+        segments: list[list[EdgeSegment]] = []
+        for w in range(workers):
+            segs = [
+                EdgeSegment(
+                    path=str(manifest.shard_paths[i]),
+                    count=manifest.shard_edges[i],
+                    eid_start=offsets[i],
+                    kind=kind,
+                    compression=manifest.compression,
+                )
+                for i in range(w, manifest.num_shards, workers)
+            ]
+            segments.append(segs)
+        streams = shard_round_robin_streams(manifest.shard_edges, workers)
+        return segments, streams, manifest.num_edges, manifest.num_vertices
+    from repro.stream.reader import BINARY_SUFFIXES, require_edge_format
+
+    if path.suffix not in BINARY_SUFFIXES:
+        raise ConfigurationError(
+            f"{path}: multi-worker partitioning streams shard manifests "
+            f"or flat binary edge files ({', '.join(BINARY_SUFFIXES)}); "
+            f"export one with 'datasets --export' or 'extsort --shards'"
+        )
+    require_edge_format(path, "binary")
+    size = path.stat().st_size
+    if size % 8 != 0:
+        raise ConfigurationError(
+            f"{path}: binary edge list length {size} is not a multiple of 8"
+        )
+    num_edges = size // 8
+    streams = contiguous_streams(num_edges, workers)
+    segments = [
+        [
+            EdgeSegment(
+                path=str(path),
+                count=int(stream.size),
+                eid_start=int(stream[0]) if stream.size else 0,
+                kind="flat",
+                start_edge=int(stream[0]) if stream.size else 0,
+            )
+        ]
+        if stream.size
+        else []
+        for stream in streams
+    ]
+    return segments, streams, num_edges, None
+
+
+def split_spill_round_robin(
+    spill: SpillFile,
+    workers: int,
+    out_dir: "str | os.PathLike",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    compression: str | None = None,
+) -> list[list[EdgeSegment]]:
+    """Deal a spill file's records round-robin into per-worker segments.
+
+    Record ``j`` of the spill stream goes to worker ``j mod N`` — the
+    exact ownership :func:`~repro.parallel.kernel.round_robin_streams`
+    describes, so the multi-process phase two matches the in-process
+    ``bsp_hdrf_stream(workers=N)`` schedule bit for bit.  Segment files
+    land in ``out_dir`` (caller-owned temp state).
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    out_dir = Path(out_dir)
+    writers = [
+        SpillFile(
+            path=out_dir / f"h2h-worker-{w:02d}.spill",
+            delete=False,
+            compression=compression,
+        )
+        for w in range(workers)
+    ]
+    try:
+        position = 0
+        for pairs, eids in spill.chunks(chunk_size):
+            owner = (position + np.arange(pairs.shape[0])) % workers
+            for w in range(workers):
+                mask = owner == w
+                if mask.any():
+                    writers[w].append(pairs[mask], eids[mask])
+            position += pairs.shape[0]
+        for writer in writers:
+            writer.sync()
+        return [
+            [
+                EdgeSegment(
+                    path=str(writer.path),
+                    count=len(writer),
+                    kind="spill",
+                    compression=compression,
+                )
+            ]
+            if len(writer)
+            else []
+            for writer in writers
+        ]
+    finally:
+        for writer in writers:
+            writer.close()
+
+
+# -- drivers ----------------------------------------------------------------
+
+
+@dataclass
+class MultiWorkerResult:
+    """Outcome of one multi-process out-of-core run (no Graph in RAM)."""
+
+    algorithm: str
+    parts: np.ndarray          # (m,) int32 per-edge partition ids
+    k: int
+    num_vertices: int
+    num_edges: int
+    chunk_size: int
+    report: MultiWorkerReport
+    loads: np.ndarray          # (k,) final per-partition edge counts
+    replication_factor: float
+    edge_balance: float
+    runtime_s: float
+
+    @property
+    def num_unassigned(self) -> int:
+        """Number of edges left without a partition (should be zero)."""
+        return int((self.parts < 0).sum())
+
+
+class MultiWorkerStreamingDriver:
+    """Standalone informed HDRF over shards, one OS process per worker.
+
+    The multi-process sibling of
+    :class:`~repro.stream.driver.StreamingPartitionerDriver`'s HDRF
+    adapter: a counting pass establishes exact degrees, then ``workers``
+    processes stream their shard assignment under the BSP schedule.
+    ``workers=1, batch=1`` reproduces sequential informed HDRF exactly;
+    any configuration is bit-identical to the in-process
+    ``bsp_hdrf_stream`` with the same workers/batch and the streams
+    :func:`plan_worker_segments` reports.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        batch: int = DEFAULT_WORKER_BATCH,
+        alpha: float = 1.0,
+        lam: float = 1.1,
+        eps: float = 1.0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        prefetch: int = 0,
+        mp_context: str | None = None,
+        timeout: float = DEFAULT_WORKER_TIMEOUT,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        self.workers = int(workers)
+        self.batch = int(batch)
+        self.alpha = alpha
+        self.lam = lam
+        self.eps = eps
+        self.chunk_size = int(chunk_size)
+        self.prefetch = int(prefetch)
+        self.mp_context = mp_context
+        self.timeout = timeout
+        self.last_result: MultiWorkerResult | None = None
+        self.name = f"HDRF-mw{workers}"
+
+    def partition(self, source, k: int) -> MultiWorkerResult:
+        """Partition ``source`` (a manifest or flat binary edge file)."""
+        if k < 2:
+            raise ConfigurationError(
+                f"multi-worker partitioning requires k >= 2, got {k}"
+            )
+        start = time.perf_counter()
+        segments, _, num_edges, _ = plan_worker_segments(
+            source, self.workers
+        )
+        if num_edges == 0:
+            raise PartitioningError("multi-worker HDRF: edge stream is empty")
+        src = open_edge_source(source, self.chunk_size)
+        if self.prefetch > 0:
+            src = PrefetchingEdgeSource(src, depth=self.prefetch)
+        stats = scan_source(src)
+        capacity = capacity_bound(stats.num_edges, k, self.alpha)
+        state = StreamingState(
+            stats.num_vertices, k, capacity, exact_degrees=stats.degrees
+        )
+        parts = np.full(stats.num_edges, -1, dtype=np.int32)
+        with WorkerPool(
+            segments,
+            state,
+            batch=self.batch,
+            lam=self.lam,
+            eps=self.eps,
+            chunk_size=self.chunk_size,
+            mp_context=self.mp_context,
+            timeout=self.timeout,
+        ) as pool:
+            report = pool.run(parts)
+        rf, balance = chunked_quality(src, stats, k, parts)
+        result = MultiWorkerResult(
+            algorithm=f"HDRF-mw{self.workers}",
+            parts=parts,
+            k=k,
+            num_vertices=stats.num_vertices,
+            num_edges=stats.num_edges,
+            chunk_size=self.chunk_size,
+            report=report,
+            loads=state.loads.copy(),
+            replication_factor=rf,
+            edge_balance=balance,
+            runtime_s=time.perf_counter() - start,
+        )
+        self.last_result = result
+        return result
+
+
+class MultiWorkerHep(OutOfCoreHep):
+    """Out-of-core HEP whose streaming phase runs on a worker pool.
+
+    Phases one through four are exactly
+    :class:`~repro.stream.pipeline.OutOfCoreHep` (counting pass, budget
+    -> tau, split with h2h spill, NE++ on the pruned CSR).  Phase two is
+    where this class differs: the h2h spill is dealt round-robin into
+    per-worker segment files and streamed by ``workers`` OS processes
+    under the BSP schedule — bit-identical to
+    :class:`~repro.parallel.bsp_streaming.ParallelHepPartitioner` with
+    the same tau/workers/batch, which is itself sequential HEP at
+    ``workers=1, batch=1``.
+
+    The buffered scoring window is inherently sequential, so
+    ``buffer_size`` is rejected.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        batch: int = DEFAULT_WORKER_BATCH,
+        mp_context: str | None = None,
+        timeout: float = DEFAULT_WORKER_TIMEOUT,
+        **kwargs,
+    ) -> None:
+        if kwargs.get("buffer_size") is not None:
+            raise ConfigurationError(
+                "buffer_size is a sequential scoring window; it cannot "
+                "combine with multi-worker streaming"
+            )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        super().__init__(**kwargs)
+        self.workers = int(workers)
+        self.batch = int(batch)
+        self.mp_context = mp_context
+        self.timeout = timeout
+        self.last_report: MultiWorkerReport | None = None
+        self.name = f"HEP-mw{workers}"
+
+    def partition(self, source, k: int):
+        """Run the pipeline; ``last_report`` reflects only this run."""
+        self.last_report = None
+        return super().partition(source, k)
+
+    def _stream_spill(
+        self,
+        spill: SpillFile,
+        stats,
+        k: int,
+        phase_one,
+        parts: np.ndarray,
+    ) -> np.ndarray:
+        """Phase two: informed HDRF over per-worker spill segments."""
+        from repro.core.hep import phase_two_capacity
+
+        capacity = phase_two_capacity(
+            stats.num_edges, k, self.alpha, phase_one.loads
+        )
+        state = StreamingState.informed_arrays(
+            stats.num_vertices,
+            stats.degrees,
+            k,
+            capacity,
+            replicas=phase_one.secondary,
+            loads=phase_one.loads,
+        )
+        with tempfile.TemporaryDirectory(
+            prefix="mw-h2h-", dir=self.spill_dir
+        ) as tmp:
+            segments = split_spill_round_robin(
+                spill, self.workers, tmp, self.chunk_size,
+                compression=self.spill_compression,
+            )
+            with WorkerPool(
+                segments,
+                state,
+                batch=self.batch,
+                lam=self.lam,
+                eps=self.eps,
+                chunk_size=self.chunk_size,
+                mp_context=self.mp_context,
+                timeout=self.timeout,
+            ) as pool:
+                self.last_report = pool.run(parts)
+        return state.loads

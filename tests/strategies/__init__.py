@@ -2,9 +2,9 @@
 
 Re-exports the graph strategies for convenience::
 
-    from strategies import edge_lists, graphs, power_law_graphs
+    from strategies import edge_lists, graphs, power_law_graphs, bsp_schedules
 """
 
-from strategies.graphs import edge_lists, graphs, power_law_graphs
+from strategies.graphs import bsp_schedules, edge_lists, graphs, power_law_graphs
 
-__all__ = ["edge_lists", "graphs", "power_law_graphs"]
+__all__ = ["edge_lists", "graphs", "power_law_graphs", "bsp_schedules"]

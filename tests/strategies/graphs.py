@@ -21,7 +21,7 @@ from hypothesis import strategies as st
 from repro.graph import generators
 from repro.graph.edgelist import Graph
 
-__all__ = ["edge_lists", "graphs", "power_law_graphs"]
+__all__ = ["edge_lists", "graphs", "power_law_graphs", "bsp_schedules"]
 
 
 @st.composite
@@ -81,6 +81,20 @@ def graphs(
         merged = np.vstack([graph.edges, path]) if graph.num_edges else path
         graph = Graph.from_edges(merged, num_vertices=n)
     return graph
+
+
+@st.composite
+def bsp_schedules(draw) -> tuple[int, int, int]:
+    """``(workers, batch, num_shards)`` triples for BSP equivalence runs.
+
+    Worker counts cover the 1/2/4 grid the multi-worker acceptance
+    property pins; shard counts deliberately range below, at, and above
+    the worker count so workers own zero, one, or several shards.
+    """
+    workers = draw(st.sampled_from([1, 2, 4]))
+    batch = draw(st.sampled_from([1, 3, 8]))
+    num_shards = draw(st.integers(min_value=1, max_value=6))
+    return workers, batch, num_shards
 
 
 @st.composite

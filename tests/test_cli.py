@@ -429,3 +429,114 @@ class TestDatasetsExport:
         )
         assert rc == 1
         assert "HEP" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestMultiWorkerCli:
+    @pytest.fixture()
+    def sharded_manifest(self, tmp_path):
+        from repro.graph.generators import chung_lu
+        from repro.stream import write_sharded_edges
+
+        g = chung_lu(200, mean_degree=6, exponent=2.2, seed=3, name="cli")
+        return write_sharded_edges(
+            g, tmp_path / "cli.manifest.json", num_shards=4
+        )
+
+    @pytest.fixture()
+    def binary_file(self, tmp_path):
+        from repro.graph.generators import chung_lu
+
+        g = chung_lu(200, mean_degree=6, exponent=2.2, seed=3, name="cli")
+        path = tmp_path / "cli.bin"
+        write_binary_edgelist(g, path)
+        return path
+
+    def test_workers_hdrf_on_manifest(self, sharded_manifest, capsys):
+        rc = main(
+            ["partition", str(sharded_manifest.path), "--k", "4",
+             "--out-of-core", "--algo", "HDRF", "--workers", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HDRF-mw2" in out
+        assert "2 worker processes" in out
+        assert "bsp schedule" in out
+
+    def test_workers_hep_on_binary(self, binary_file, capsys):
+        rc = main(
+            ["partition", str(binary_file), "--k", "4", "--out-of-core",
+             "--workers", "2", "--batch", "16", "--tau", "1.0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HEP-1" in out and "2 worker processes" in out
+
+    def test_workers_writes_assignment(self, sharded_manifest, tmp_path, capsys):
+        out_path = tmp_path / "parts.txt"
+        rc = main(
+            ["partition", str(sharded_manifest.path), "--k", "4",
+             "--out-of-core", "--algo", "HDRF", "--workers", "2",
+             "--output", str(out_path)]
+        )
+        assert rc == 0
+        parts = np.loadtxt(out_path, dtype=np.int64)
+        assert parts.shape[0] == sharded_manifest.num_edges
+        assert parts.min() >= 0 and parts.max() < 4
+
+    def test_workers_requires_out_of_core(self, binary_file, capsys):
+        rc = main(["partition", str(binary_file), "--k", "4",
+                   "--workers", "2"])
+        assert rc == 1
+        assert "--workers requires --out-of-core" in capsys.readouterr().err
+
+    def test_batch_requires_workers(self, binary_file, capsys):
+        rc = main(["partition", str(binary_file), "--k", "4",
+                   "--out-of-core", "--batch", "8"])
+        assert rc == 1
+        assert "--batch" in capsys.readouterr().err
+
+    def test_workers_rejects_other_algos(self, binary_file, capsys):
+        rc = main(["partition", str(binary_file), "--k", "4",
+                   "--out-of-core", "--algo", "DBH", "--workers", "2"])
+        assert rc == 1
+        assert "HEP or HDRF" in capsys.readouterr().err
+
+    def test_workers_hdrf_rejects_hep_only_flags(self, binary_file, capsys):
+        rc = main(["partition", str(binary_file), "--k", "4",
+                   "--out-of-core", "--algo", "HDRF", "--workers", "2",
+                   "--memory-budget", "100000"])
+        assert rc == 1
+        assert "tunes HEP's tau" in capsys.readouterr().err
+
+    def test_workers_matches_no_workers_oracle(self, sharded_manifest, tmp_path, capsys):
+        """CLI multi-worker output equals the in-process BSP schedule."""
+        from repro.parallel import bsp_hdrf_stream
+        from repro.partition.base import capacity_bound
+        from repro.partition.state import StreamingState
+        from repro.stream import ShardedEdgeSource, plan_worker_segments
+        from repro.stream.scan import scan_source
+
+        out_path = tmp_path / "parts.txt"
+        rc = main(
+            ["partition", str(sharded_manifest.path), "--k", "4",
+             "--out-of-core", "--algo", "HDRF", "--workers", "4",
+             "--batch", "4", "--output", str(out_path)]
+        )
+        assert rc == 0
+        got = np.loadtxt(out_path, dtype=np.int64)
+        src = ShardedEdgeSource(sharded_manifest)
+        stats = scan_source(src)
+        edges = np.vstack([c.pairs for c in src])
+        _, streams, _, _ = plan_worker_segments(sharded_manifest.path, 4)
+        state = StreamingState(
+            stats.num_vertices, 4,
+            capacity_bound(stats.num_edges, 4, 1.0),
+            exact_degrees=stats.degrees,
+        )
+        oracle = np.full(stats.num_edges, -1, dtype=np.int32)
+        bsp_hdrf_stream(
+            state, edges, np.arange(stats.num_edges), oracle, 4,
+            batch=4, streams=streams,
+        )
+        assert np.array_equal(got, oracle)

@@ -1,12 +1,13 @@
 """Docstring lint for the documented public API.
 
-The ``repro.stream``, ``repro.partition`` and ``repro.graph`` packages
-are the repo's documented out-of-core surface (see docs/): every module
-and every public class, function, method and property there must carry
-a docstring.  CI additionally runs ``ruff check`` with the pydocstyle
-``D1`` rules over the same paths (see .github/workflows/ci.yml and the
-``[tool.ruff]`` table in pyproject.toml); this AST-based test enforces
-the same contract without requiring ruff locally.
+The ``repro.stream``, ``repro.partition``, ``repro.graph``, ``repro.
+core`` and ``repro.parallel`` packages are the repo's documented
+surface (see docs/): every module and every public class, function,
+method and property there must carry a docstring.  CI additionally runs
+``ruff check`` with the pydocstyle ``D1`` rules over the same paths
+(see .github/workflows/ci.yml and the ``[tool.ruff]`` table in
+pyproject.toml); this AST-based test enforces the same contract without
+requiring ruff locally.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ import pytest
 import repro
 
 _SRC = Path(repro.__file__).resolve().parent
-_LINTED_PACKAGES = ("stream", "partition", "graph")
+_LINTED_PACKAGES = ("stream", "partition", "graph", "core", "parallel")
 
 
 def _linted_files():

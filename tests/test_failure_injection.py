@@ -1,6 +1,11 @@
 """Failure-injection tests: corrupted inputs, hostile parameters, and
 boundary conditions must fail loudly with library exceptions, never
-silently corrupt results."""
+silently corrupt results — including worker processes dying
+mid-superstep."""
+
+import multiprocessing
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -10,6 +15,7 @@ from repro.errors import (
     GraphFormatError,
     PartitioningError,
     ReproError,
+    WorkerFailureError,
 )
 from repro.graph import (
     Graph,
@@ -127,3 +133,103 @@ class TestBoundaryGraphs:
         g = Graph.from_edges([(0, 1)], num_vertices=2)
         with pytest.raises(ConfigurationError):
             PartitionAssignment(g, 0, np.array([0], dtype=np.int32))
+
+
+@pytest.mark.slow
+class TestMultiWorkerFailures:
+    """A worker dying mid-superstep must surface as *one* clean
+    :class:`WorkerFailureError` naming the worker and its shard, leave
+    no orphan processes, and keep the pool reusable for a fresh run."""
+
+    @pytest.fixture()
+    def sharded(self, tmp_path):
+        from repro.stream import write_sharded_edges
+
+        graph = chung_lu(300, mean_degree=8, exponent=2.2, seed=5, name="fi")
+        manifest = write_sharded_edges(
+            graph, tmp_path / "fi.manifest.json", num_shards=4
+        )
+        return graph, manifest
+
+    def _pool(self, graph, manifest, workers=2, batch=2):
+        from repro.partition.base import capacity_bound
+        from repro.partition.state import StreamingState
+        from repro.stream import WorkerPool, plan_worker_segments
+
+        segments, _, _, _ = plan_worker_segments(manifest.path, workers)
+        capacity = capacity_bound(graph.num_edges, 4, 1.0)
+        state = StreamingState(
+            graph.num_vertices, 4, capacity, exact_degrees=graph.degrees
+        )
+        parts = np.full(graph.num_edges, -1, dtype=np.int32)
+        pool = WorkerPool(
+            segments, state, batch=batch, chunk_size=64, timeout=30.0
+        )
+        return pool, parts
+
+    def test_killed_worker_raises_and_leaves_no_orphans(self, sharded):
+        graph, manifest = sharded
+        pool, parts = self._pool(graph, manifest)
+        pool.start()
+        os.kill(pool.pids[1], signal.SIGKILL)
+        with pytest.raises(WorkerFailureError, match=r"worker 1 .*died"):
+            pool.run(parts)
+        pool.close()
+        assert multiprocessing.active_children() == []
+
+    def test_poisoned_shard_names_worker_and_shard(self, sharded):
+        graph, manifest = sharded
+        # Truncate shard 2 (owned by worker 0) *after* planning — the
+        # worker hits it mid-stream, exactly like disk corruption or a
+        # concurrent truncation during a long run.
+        shard = manifest.shard_paths[2]
+        data = shard.read_bytes()
+        shard.write_bytes(data[: len(data) // 2 - 3])
+        pool, parts = self._pool(graph, manifest)
+        with pool:
+            with pytest.raises(WorkerFailureError) as excinfo:
+                pool.run(parts)
+        message = str(excinfo.value)
+        assert "worker 0" in message
+        assert "shard-0002" in message
+        assert "GraphFormatError" in message
+        assert multiprocessing.active_children() == []
+
+    def test_pre_poisoned_manifest_fails_in_counting_pass(self, sharded):
+        from repro.stream import MultiWorkerStreamingDriver
+
+        graph, manifest = sharded
+        shard = manifest.shard_paths[1]
+        shard.write_bytes(shard.read_bytes()[:-8])
+        with pytest.raises(GraphFormatError, match="shard"):
+            MultiWorkerStreamingDriver(workers=2).partition(manifest.path, 4)
+        assert multiprocessing.active_children() == []
+
+    def test_failure_is_worker_failure_error_subclass(self):
+        assert issubclass(WorkerFailureError, PartitioningError)
+        assert issubclass(WorkerFailureError, ReproError)
+
+    def test_driver_recovers_after_failure(self, sharded):
+        """A failed run must not poison the next one (fresh pool/state)."""
+        from repro.stream import MultiWorkerStreamingDriver
+
+        graph, manifest = sharded
+        pool, parts = self._pool(graph, manifest)
+        pool.start()
+        os.kill(pool.pids[0], signal.SIGKILL)
+        with pytest.raises(WorkerFailureError):
+            pool.run(parts)
+        pool.close()
+        result = MultiWorkerStreamingDriver(workers=2, batch=4).partition(
+            manifest.path, 4
+        )
+        assert result.num_unassigned == 0
+        assert multiprocessing.active_children() == []
+
+    def test_pool_close_is_idempotent(self, sharded):
+        graph, manifest = sharded
+        pool, parts = self._pool(graph, manifest)
+        pool.start()
+        pool.close()
+        pool.close()
+        assert multiprocessing.active_children() == []

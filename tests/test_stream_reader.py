@@ -323,3 +323,66 @@ class TestFormatSniffing:
         write_text_edgelist(graph, path)
         with pytest.raises(GraphFormatError):
             StreamingPartitionerDriver("HDRF", chunk_size=4).partition(path, 2)
+
+
+class TestPrefetchClose:
+    """Regression: PrefetchingEdgeSource.close() mid-iteration must join
+    the reader thread (which releases the inner source's handles)."""
+
+    @pytest.fixture()
+    def big_file(self, tmp_path):
+        n = 600
+        g = Graph.from_edges(
+            [(i, i + 1) for i in range(n - 1)], num_vertices=n
+        )
+        path = tmp_path / "chain.bin"
+        write_binary_edgelist(g, path)
+        return path
+
+    def test_close_joins_reader_thread(self, big_file):
+        import threading
+
+        before = set(threading.enumerate())
+        src = PrefetchingEdgeSource(
+            BinaryFileEdgeSource(big_file, 32), depth=2
+        )
+        it = iter(src)
+        next(it)
+        assert any(
+            t.name == "edge-chunk-prefetch" for t in threading.enumerate()
+        )
+        src.close()
+        assert set(threading.enumerate()) == before
+
+    def test_resuming_closed_iterator_raises(self, big_file):
+        src = PrefetchingEdgeSource(
+            BinaryFileEdgeSource(big_file, 16), depth=1
+        )
+        it = iter(src)
+        next(it)
+        src.close()
+        with pytest.raises(ValueError, match="closed during iteration"):
+            for _ in it:
+                pass
+
+    def test_fresh_iteration_after_close(self, big_file):
+        src = PrefetchingEdgeSource(
+            BinaryFileEdgeSource(big_file, 64), depth=2
+        )
+        expected_pairs, expected_eids = _collect(src)
+        it = iter(src)
+        next(it)
+        src.close()
+        pairs, eids = _collect(src)
+        assert np.array_equal(pairs, expected_pairs)
+        assert np.array_equal(eids, expected_eids)
+
+    def test_close_idempotent_and_base_noop(self, big_file, graph):
+        src = PrefetchingEdgeSource(
+            BinaryFileEdgeSource(big_file, 16), depth=1
+        )
+        src.close()
+        src.close()
+        # Base sources expose close() as a safe no-op.
+        InMemoryEdgeSource(graph, 4).close()
+        BinaryFileEdgeSource(big_file, 16).close()

@@ -444,3 +444,79 @@ class TestOpenEdgeSource:
         )
         with pytest.raises(ConfigurationError):
             open_edge_source(manifest.path, 4, order="shuffled")
+
+
+class TestCloseMidIteration:
+    """Regression: close() mid-iteration must join reader threads and
+    release file handles — abandoning a concurrent read used to rely on
+    generator finalization alone."""
+
+    @staticmethod
+    def _fd_count():
+        import os
+
+        return len(os.listdir("/proc/self/fd"))
+
+    def test_close_joins_reader_threads(self, skewed_graph, tmp_path):
+        manifest = write_sharded_edges(
+            skewed_graph, tmp_path / "g.manifest.json", num_shards=4
+        )
+        before_threads = set(threading.enumerate())
+        before_fds = self._fd_count()
+        src = ShardedEdgeSource(manifest, chunk_size=16)
+        it = iter(src)
+        next(it)  # reader threads now live, shard handles open
+        assert any(
+            t.name.startswith("shard-reader") for t in threading.enumerate()
+        )
+        src.close()
+        assert set(threading.enumerate()) == before_threads
+        assert self._fd_count() == before_fds
+
+    def test_resuming_closed_iterator_raises(self, skewed_graph, tmp_path):
+        manifest = write_sharded_edges(
+            skewed_graph, tmp_path / "g.manifest.json", num_shards=2
+        )
+        src = ShardedEdgeSource(manifest, chunk_size=16)
+        it = iter(src)
+        next(it)
+        src.close()
+        with pytest.raises(ValueError, match="closed during iteration"):
+            for _ in it:
+                pass
+
+    def test_fresh_iteration_after_close_works(self, skewed_graph, tmp_path):
+        manifest = write_sharded_edges(
+            skewed_graph, tmp_path / "g.manifest.json", num_shards=3
+        )
+        src = ShardedEdgeSource(manifest, chunk_size=32)
+        expected = _chunks(src)
+        it = iter(src)
+        next(it)
+        src.close()
+        _assert_same_stream(_chunks(src), expected)
+
+    def test_close_without_iteration_and_idempotent(
+        self, skewed_graph, tmp_path
+    ):
+        manifest = write_sharded_edges(
+            skewed_graph, tmp_path / "g.manifest.json", num_shards=2
+        )
+        src = ShardedEdgeSource(manifest)
+        src.close()
+        src.close()
+        it = iter(src)
+        next(it)
+        src.close()
+        src.close()
+
+    def test_mmap_close_releases_mapping(self, skewed_graph, tmp_path):
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(skewed_graph, path)
+        src = MmapEdgeSource(path, chunk_size=64)
+        next(iter(src))
+        assert src._mm is not None
+        src.close()
+        assert src._mm is None
+        # Still restartable after close.
+        assert sum(c.num_edges for c in src) == skewed_graph.num_edges

@@ -239,3 +239,33 @@ class TestCompressedFormat:
         spill._num_edges -= 10
         spill.close()
         assert size > 0
+
+
+class TestReadSpillChunksStandalone:
+    """read_spill_chunks: the handed-over reader worker segments use."""
+
+    def test_matches_spillfile_chunks(self, tmp_path):
+        from repro.stream import SpillFile, read_spill_chunks
+
+        pairs = np.arange(40, dtype=np.int64).reshape(-1, 2)
+        eids = np.arange(20, dtype=np.int64)
+        with SpillFile(path=tmp_path / "s.spill", delete=False,
+                       compression="zlib") as spill:
+            spill.append(pairs, eids)
+            spill.sync()
+            got = list(read_spill_chunks(spill.path, 20, "zlib", 7))
+        assert np.array_equal(np.vstack([p for p, _ in got]), pairs)
+        assert np.array_equal(np.concatenate([e for _, e in got]), eids)
+
+    def test_framed_over_delivery_raises(self, tmp_path):
+        """A frame spilling past the declared total must raise, not hand
+        extra records downstream (worker segments trust their count)."""
+        from repro.stream import SpillFile, read_spill_chunks
+
+        pairs = np.arange(24, dtype=np.int64).reshape(-1, 2)
+        with SpillFile(path=tmp_path / "s.spill", delete=False,
+                       compression="zlib") as spill:
+            spill.append(pairs, np.arange(12, dtype=np.int64))
+            spill.sync()
+            with pytest.raises(GraphFormatError, match="delivers"):
+                list(read_spill_chunks(spill.path, 5, "zlib", 4))

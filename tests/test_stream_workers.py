@@ -1,0 +1,338 @@
+"""Tests for repro.stream.workers: multi-process shard-parallel BSP.
+
+The load-bearing property: a multi-process run is **bit-identical** to
+the in-process ``bsp_hdrf_stream`` with the same workers/batch and the
+same shard-derived streams — and at ``workers=1, batch=1`` both equal
+sequential informed HDRF.  Everything else (planning, rebatching, wire
+framing, reports, validation) is pinned by unit tests.
+"""
+
+import multiprocessing
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from strategies import bsp_schedules, power_law_graphs
+
+from repro.errors import (
+    ConfigurationError,
+    PartitioningError,
+    WorkerFailureError,
+)
+from repro.graph.edgelist import write_binary_edgelist
+from repro.graph.generators import chung_lu
+from repro.parallel import ParallelHepPartitioner, bsp_hdrf_stream
+from repro.partition.base import capacity_bound
+from repro.partition.state import StreamingState
+from repro.stream import (
+    MultiWorkerHep,
+    MultiWorkerReport,
+    MultiWorkerStreamingDriver,
+    StreamingPartitionerDriver,
+    WorkerPool,
+    plan_worker_segments,
+    write_sharded_edges,
+)
+from repro.stream.workers import (
+    EdgeSegment,
+    _iter_batches,
+    _pack_message,
+    _pack_triples,
+    _unpack_message,
+    _unpack_triples,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu(400, mean_degree=8, exponent=2.1, seed=23, name="mw")
+
+
+@pytest.fixture(scope="module")
+def manifest(graph, tmp_path_factory):
+    out = tmp_path_factory.mktemp("mw") / "mw.manifest.json"
+    return write_sharded_edges(graph, out, num_shards=4)
+
+
+def _oracle_parts(graph, workers, batch, streams, k=8):
+    capacity = capacity_bound(graph.num_edges, k, 1.0)
+    state = StreamingState(
+        graph.num_vertices, k, capacity, exact_degrees=graph.degrees
+    )
+    parts = np.full(graph.num_edges, -1, dtype=np.int32)
+    report = bsp_hdrf_stream(
+        state, graph.edges, np.arange(graph.num_edges), parts,
+        workers, batch=batch, streams=streams,
+    )
+    return parts, state, report
+
+
+class TestPlanning:
+    def test_manifest_round_robin(self, manifest):
+        segments, streams, m, n = plan_worker_segments(manifest.path, 3)
+        assert m == manifest.num_edges
+        assert n == manifest.num_vertices
+        # 4 shards over 3 workers: worker 0 owns shards 0 and 3.
+        assert [len(s) for s in segments] == [2, 1, 1]
+        covered = np.sort(np.concatenate(streams))
+        assert np.array_equal(covered, np.arange(m))
+        # Worker 0's stream is shard 0 then shard 3 (manifest order).
+        shard0 = manifest.shard_edges[0]
+        assert streams[0][0] == 0
+        assert streams[0][shard0] == sum(manifest.shard_edges[:3])
+
+    def test_flat_file_contiguous(self, graph, tmp_path):
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        segments, streams, m, n = plan_worker_segments(path, 4)
+        assert m == graph.num_edges
+        assert n is None
+        assert all(len(s) == 1 for s in segments)
+        covered = np.concatenate(streams)
+        assert np.array_equal(covered, np.arange(m))  # contiguous split
+        assert segments[1][0].start_edge == streams[1][0]
+
+    def test_more_workers_than_shards(self, manifest):
+        segments, streams, _, _ = plan_worker_segments(manifest.path, 6)
+        assert [len(s) for s in segments] == [1, 1, 1, 1, 0, 0]
+        assert streams[5].size == 0
+
+    def test_text_file_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        with pytest.raises(ConfigurationError, match="manifest"):
+            plan_worker_segments(path, 2)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no such"):
+            plan_worker_segments(tmp_path / "nope.bin", 2)
+
+    def test_workers_validated(self, manifest):
+        with pytest.raises(ConfigurationError):
+            plan_worker_segments(manifest.path, 0)
+
+
+class TestRebatching:
+    def test_batches_cross_segment_boundaries(self, manifest):
+        segments, streams, _, _ = plan_worker_segments(manifest.path, 2)
+        batches = list(_iter_batches(segments[0], batch=7, chunk_size=13))
+        sizes = [us.shape[0] for us, vs, eids in batches]
+        assert all(size == 7 for size in sizes[:-1])
+        eids = np.concatenate([e for _, _, e in batches])
+        assert np.array_equal(eids, streams[0])
+
+    def test_stream_content_matches_shards(self, graph, manifest):
+        segments, streams, _, _ = plan_worker_segments(manifest.path, 2)
+        for segs, stream in zip(segments, streams):
+            us = np.concatenate(
+                [u for u, _, _ in _iter_batches(segs, 5, 16)]
+            )
+            vs = np.concatenate(
+                [v for _, v, _ in _iter_batches(segs, 5, 16)]
+            )
+            assert np.array_equal(us, graph.edges[stream, 0])
+            assert np.array_equal(vs, graph.edges[stream, 1])
+
+    def test_unknown_segment_kind(self, tmp_path):
+        seg = EdgeSegment(path=str(tmp_path / "x"), count=1, kind="nope")
+        with pytest.raises(ConfigurationError):
+            list(_iter_batches([seg], 4, 8))
+
+
+class TestWireFormat:
+    def test_message_roundtrip(self):
+        a = np.arange(5, dtype=np.int64)
+        blob = _pack_message(b"B", 5, _pack_triples(a, a + 1, a + 2))
+        tag, count, payload = _unpack_message(blob)
+        assert (tag, count) == (b"B", 5)
+        x, y, z = _unpack_triples(payload, 5)
+        assert np.array_equal(x, a)
+        assert np.array_equal(y, a + 1)
+        assert np.array_equal(z, a + 2)
+
+    def test_corrupt_frame_rejected(self):
+        blob = _pack_message(b"B", 3, b"\x00" * 72)
+        with pytest.raises(WorkerFailureError, match="corrupt"):
+            _unpack_message(blob[:-8])
+
+
+class TestReport:
+    def test_modeled_speedup(self):
+        report = MultiWorkerReport(
+            workers=4, batch=8, supersteps=10, edges_streamed=320,
+            fast_supersteps=9, slow_supersteps=1,
+        )
+        assert report.modeled_speedup == pytest.approx(4.0)
+        empty = MultiWorkerReport(2, 8, 0, 0, 0, 0)
+        assert empty.modeled_speedup == 1.0
+
+
+class TestValidation:
+    def test_driver_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            MultiWorkerStreamingDriver(workers=0)
+        with pytest.raises(ConfigurationError):
+            MultiWorkerStreamingDriver(batch=0)
+
+    def test_driver_rejects_k_one(self, manifest):
+        with pytest.raises(ConfigurationError):
+            MultiWorkerStreamingDriver(workers=2).partition(manifest.path, 1)
+
+    def test_empty_stream_rejected(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(PartitioningError, match="empty"):
+            MultiWorkerStreamingDriver(workers=2).partition(path, 4)
+
+    def test_pool_requires_start(self, manifest):
+        segments, _, _, _ = plan_worker_segments(manifest.path, 2)
+        state = StreamingState(10, 4, 100, exact_degrees=np.zeros(10, np.int64))
+        pool = WorkerPool(segments, state)
+        with pytest.raises(ConfigurationError, match="before start"):
+            pool.run(np.zeros(4, np.int32))
+
+    def test_pool_validates_shape(self):
+        state = StreamingState(10, 4, 100, exact_degrees=np.zeros(10, np.int64))
+        with pytest.raises(ConfigurationError):
+            WorkerPool([], state)
+        with pytest.raises(ConfigurationError):
+            WorkerPool([[]], state, batch=0)
+
+    def test_hep_rejects_buffer_size(self):
+        with pytest.raises(ConfigurationError, match="buffer_size"):
+            MultiWorkerHep(workers=2, buffer_size=64)
+        with pytest.raises(ConfigurationError):
+            MultiWorkerHep(workers=0)
+
+
+@pytest.mark.slow
+class TestEquivalence:
+    @pytest.mark.parametrize("workers,batch", [(1, 1), (1, 8), (2, 4), (4, 8)])
+    def test_bit_identical_to_in_process_bsp(
+        self, graph, manifest, workers, batch
+    ):
+        """The acceptance property, pinned on the fixture graph."""
+        driver = MultiWorkerStreamingDriver(workers=workers, batch=batch)
+        result = driver.partition(manifest.path, 8)
+        _, streams, _, _ = plan_worker_segments(manifest.path, workers)
+        oracle, state, report = _oracle_parts(graph, workers, batch, streams)
+        assert np.array_equal(result.parts, oracle)
+        assert np.array_equal(result.loads, state.loads)
+        assert result.report.supersteps == report.supersteps
+        assert result.report.edges_streamed == graph.num_edges
+        assert result.num_unassigned == 0
+
+    def test_single_worker_batch_one_is_sequential_hdrf(self, manifest):
+        """workers=1, batch=1 must equal sequential informed HDRF."""
+        result = MultiWorkerStreamingDriver(workers=1, batch=1).partition(
+            manifest.path, 8
+        )
+        sequential = StreamingPartitionerDriver(
+            "HDRF", exact_degrees=True
+        ).partition(manifest.path, 8)
+        assert np.array_equal(result.parts, sequential.parts)
+
+    def test_deterministic_across_runs(self, manifest):
+        a = MultiWorkerStreamingDriver(workers=4, batch=8).partition(
+            manifest.path, 8
+        )
+        b = MultiWorkerStreamingDriver(workers=4, batch=8).partition(
+            manifest.path, 8
+        )
+        assert np.array_equal(a.parts, b.parts)
+
+    def test_flat_file_matches_contiguous_streams(self, graph, tmp_path):
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        result = MultiWorkerStreamingDriver(workers=3, batch=4).partition(
+            path, 8
+        )
+        _, streams, _, _ = plan_worker_segments(path, 3)
+        oracle, _, _ = _oracle_parts(graph, 3, 4, streams)
+        assert np.array_equal(result.parts, oracle)
+
+    def test_compressed_shards_identical(self, graph, tmp_path):
+        plain = write_sharded_edges(
+            graph, tmp_path / "p.manifest.json", num_shards=3
+        )
+        packed = write_sharded_edges(
+            graph, tmp_path / "z.manifest.json", num_shards=3,
+            compression="zlib",
+        )
+        a = MultiWorkerStreamingDriver(workers=2, batch=4).partition(
+            plain.path, 8
+        )
+        b = MultiWorkerStreamingDriver(workers=2, batch=4).partition(
+            packed.path, 8
+        )
+        assert np.array_equal(a.parts, b.parts)
+
+    def test_no_orphan_processes_after_runs(self):
+        assert multiprocessing.active_children() == []
+
+
+@pytest.mark.slow
+class TestMultiWorkerHep:
+    @pytest.mark.parametrize("workers,batch", [(1, 1), (2, 8)])
+    def test_bit_identical_to_parallel_hep(
+        self, graph, tmp_path, workers, batch
+    ):
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        hep = MultiWorkerHep(workers=workers, batch=batch, tau=1.0)
+        result = hep.partition(path, 8)
+        oracle = ParallelHepPartitioner(
+            tau=1.0, workers=workers, batch=batch
+        ).partition(graph, 8)
+        assert np.array_equal(result.parts, oracle.parts)
+        assert result.num_unassigned == 0
+        assert hep.last_report is not None
+        assert hep.last_report.workers == workers
+
+    def test_temp_segments_cleaned_up(self, graph, tmp_path):
+        spill_dir = tmp_path / "spill"
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        hep = MultiWorkerHep(
+            workers=2, tau=1.0, spill_dir=str(spill_dir)
+        )
+        hep.partition(path, 4)
+        leftovers = list(spill_dir.glob("mw-h2h-*"))
+        assert leftovers == []
+
+    def test_no_h2h_edges_skips_pool(self, graph, tmp_path):
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(graph, path)
+        hep = MultiWorkerHep(workers=2, tau=1e9)
+        result = hep.partition(path, 4)
+        assert result.num_unassigned == 0
+        assert hep.last_report is None
+
+
+@pytest.mark.slow
+@settings(max_examples=6, deadline=None)
+@given(graph=power_law_graphs(max_vertices=60), schedule=bsp_schedules())
+def test_multi_worker_equivalence_property(graph, schedule):
+    """Property: any sharded export, any 1/2/4-worker schedule — the
+    multi-process run equals the in-process BSP schedule bit for bit,
+    and the assignment is complete."""
+    workers, batch, num_shards = schedule
+    k = 4
+    with tempfile.TemporaryDirectory(prefix="mw-prop-") as tmp:
+        manifest = write_sharded_edges(
+            graph, Path(tmp) / "g.manifest.json", num_shards=num_shards
+        )
+        driver = MultiWorkerStreamingDriver(
+            workers=workers, batch=batch, chunk_size=32
+        )
+        result = driver.partition(manifest.path, k)
+        _, streams, _, _ = plan_worker_segments(manifest.path, workers)
+    oracle, state, _ = _oracle_parts(graph, workers, batch, streams, k=k)
+    assert np.array_equal(result.parts, oracle)
+    assert np.array_equal(result.loads, state.loads)
+    assert result.num_unassigned == 0
+    assert result.parts.min() >= 0
+    assert result.parts.max() < k
