@@ -7,7 +7,7 @@ sets ``S_i``, and a binary min-heap with a vertex-id lookup table so that
 reused by NE, NE++, SNE and DNE.
 """
 
-from repro._ds.bitset import Bitset
+from repro._ds.bitset import Bitset, PackedBitset
 from repro._ds.indexed_heap import IndexedMinHeap
 
-__all__ = ["Bitset", "IndexedMinHeap"]
+__all__ = ["Bitset", "PackedBitset", "IndexedMinHeap"]

@@ -6,6 +6,10 @@ Subcommands mirror the workflows a user of the original C++ system has:
   dataset) and write one partition id per edge; ``--out-of-core`` runs
   HEP *or any streaming baseline* (``--algo``) through the chunked
   pipeline so edge files are never fully loaded,
+* ``scan``      — the counting/metrics passes alone: stream statistics
+  and, with ``--parts``, replication factor and balance for a saved
+  assignment (``--metrics-workers`` fans both sweeps out over worker
+  processes),
 * ``compare``   — run several partitioners on one graph side by side,
 * ``select-tau`` — pick the largest tau fitting a memory budget (§4.4),
 * ``extsort``   — rewrite an edge file in degree order with bounded
@@ -84,6 +88,13 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                          "exists to select tau (drop one of them)")
     if args.prefetch < 0:
         raise ReproError(f"--prefetch must be >= 0, got {args.prefetch}")
+    if args.metrics_workers < 0:
+        raise ReproError(
+            f"--metrics-workers must be >= 0, got {args.metrics_workers}"
+        )
+    if args.metrics_workers and not args.out_of_core:
+        raise ReproError("--metrics-workers requires --out-of-core (the "
+                         "in-memory path scores its Graph directly)")
     if args.workers is not None and not args.out_of_core:
         raise ReproError("--workers requires --out-of-core (worker "
                          "processes stream shard files, not RAM)")
@@ -206,6 +217,8 @@ def _partition_multi_worker(args: argparse.Namespace) -> int:
         batch=batch,
         chunk_size=args.chunk_size,
         prefetch=args.prefetch,
+        # 0 = "not set": the driver then scans with its worker count.
+        metrics_workers=args.metrics_workers or None,
     )
     result = driver.partition(args.graph, args.k)
     print(f"partitioner        : {result.algorithm} (out-of-core, "
@@ -231,6 +244,9 @@ def _multi_worker_hep(args: argparse.Namespace, batch: int) -> int:
     """HEP with a multi-process streaming phase (``--algo HEP --workers``)."""
     from repro.stream import MultiWorkerHep
 
+    kwargs = {}
+    if args.metrics_workers:
+        kwargs["metrics_workers"] = args.metrics_workers
     pipeline = MultiWorkerHep(
         workers=args.workers,
         batch=batch,
@@ -242,6 +258,7 @@ def _multi_worker_hep(args: argparse.Namespace, batch: int) -> int:
         spill_compression=args.spill_compression,
         prefetch=args.prefetch,
         mmap=args.mmap,
+        **kwargs,
     )
     result = pipeline.partition(args.graph, args.k)
     print(f"partitioner        : HEP-{result.tau:g} (out-of-core, "
@@ -282,6 +299,7 @@ def _out_of_core_hep(args: argparse.Namespace) -> int:
         spill_compression=args.spill_compression,
         prefetch=args.prefetch,
         mmap=args.mmap,
+        metrics_workers=args.metrics_workers,
     )
     result = pipeline.partition(args.graph, args.k)
     print(f"partitioner        : HEP-{result.tau:g} (out-of-core)")
@@ -330,6 +348,7 @@ def _out_of_core_baseline(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         prefetch=args.prefetch,
         mmap=args.mmap,
+        metrics_workers=args.metrics_workers,
         **algo_kwargs,
     )
     result = driver.partition(args.graph, args.k)
@@ -342,6 +361,61 @@ def _out_of_core_baseline(args: argparse.Namespace) -> int:
     if result.passes > 1:
         print(f"stream passes      : {result.passes}")
     _print_ooc_quality(result, args.output)
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    """Counting/metrics passes alone: stream stats, optionally quality.
+
+    The counting pass reports ``n``, ``m`` and degree statistics for
+    any edge source.  With ``--parts`` (a per-edge partition-id file as
+    written by ``partition --output``), the metrics pass additionally
+    reports replication factor and edge balance.  ``--metrics-workers
+    N`` runs both sweeps on N worker processes when the source is a
+    shard manifest or flat binary edge file — bit-identical results.
+    """
+    if args.metrics_workers < 0:
+        raise ReproError(
+            f"--metrics-workers must be >= 0, got {args.metrics_workers}"
+        )
+    from repro.stream import open_edge_source, scan_stats
+    from repro.stream.parallel_scan import effective_scan_workers
+
+    opened = open_edge_source(args.graph, args.chunk_size)
+    # The same predicate scan_stats/scan_quality evaluate internally, so
+    # the printed path always matches the one that ran.
+    parallel = effective_scan_workers(args.graph, args.metrics_workers)
+    stats = scan_stats(
+        args.graph, opened, args.metrics_workers, args.chunk_size
+    )
+    print(f"source             : {opened.describe()}")
+    print(f"universe           : n={stats.num_vertices:,} "
+          f"m={stats.num_edges:,}")
+    max_degree = int(stats.degrees.max()) if stats.num_vertices else 0
+    isolated = int((stats.degrees == 0).sum())
+    print(f"degrees            : mean {stats.mean_degree:.3f}, "
+          f"max {max_degree:,}, isolated {isolated:,}")
+    print(f"scan passes        : "
+          + (f"{parallel} worker processes" if parallel else "sequential"))
+    if args.parts is None:
+        return 0
+    from repro.metrics import streamed_quality_report
+
+    parts = np.loadtxt(args.parts, dtype=np.int64, ndmin=1)
+    k = args.k if args.k is not None else int(max(parts.max(), 0)) + 1
+    report = streamed_quality_report(
+        args.graph,
+        parts,
+        k,
+        workers=args.metrics_workers,
+        chunk_size=args.chunk_size,
+        memory_budget=args.memory_budget,
+        stats=stats,  # the counting pass above; don't sweep twice
+    )
+    print(f"assignment         : {args.parts} (k={k})")
+    print(f"replication factor : {report.replication_factor:.4f}")
+    print(f"edge balance alpha : {report.edge_balance:.4f}")
+    print(f"unassigned edges   : {report.num_unassigned:,}")
     return 0
 
 
@@ -380,7 +454,7 @@ def _cmd_extsort(args: argparse.Namespace) -> int:
     result = external_sort_edges(
         args.graph, args.output, order=args.order,
         chunk_size=args.chunk_size, num_shards=args.shards,
-        compression=args.compress,
+        compression=args.compress, scan_workers=args.scan_workers,
     )
     print(f"sorted             : {args.graph} -> {result.path}")
     print(f"order              : {result.order}")
@@ -497,7 +571,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=None, metavar="B",
                    help="edges each worker scores per BSP superstep "
                         "(default 8; requires --workers)")
+    p.add_argument("--metrics-workers", type=int, default=0, metavar="N",
+                   help="run the counting/metrics passes on N worker "
+                        "processes (--out-of-core; bit-identical results; "
+                        "0 = sequential, or the --workers count for the "
+                        "multi-worker drivers)")
     p.set_defaults(func=_cmd_partition)
+
+    p = sub.add_parser(
+        "scan",
+        help="counting/metrics passes alone: stream stats and "
+             "(with --parts) assignment quality, out of core",
+    )
+    p.add_argument("graph", help="dataset name or edge-list file/manifest")
+    p.add_argument("--parts", default=None, metavar="FILE",
+                   help="per-edge partition-id file (one id per line, as "
+                        "written by partition --output) to score")
+    p.add_argument("--k", type=int, default=None,
+                   help="partition count for --parts (default: max id + 1)")
+    p.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                   help="edges per I/O chunk for every pass")
+    p.add_argument("--metrics-workers", type=int, default=0, metavar="N",
+                   help="run both passes on N worker processes (shard "
+                        "manifests and flat binary edge files)")
+    p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                   help="byte bound for the metrics cover; larger covers "
+                        "fall back to column-blocked sweeps")
+    p.set_defaults(func=_cmd_scan)
 
     p = sub.add_parser("compare", help="run several partitioners side by side")
     p.add_argument("graph")
@@ -530,6 +630,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "a manifest (output becomes <out>.manifest.json)")
     p.add_argument("--compress", choices=("zlib",), default=None,
                    help="zlib-framed shard files (requires --shards)")
+    p.add_argument("--scan-workers", type=int, default=0, metavar="N",
+                   help="run the counting pass (which keys the sort) on "
+                        "N worker processes")
     p.set_defaults(func=_cmd_extsort)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

@@ -33,7 +33,13 @@ from repro.experiments.common import (
     make_partitioner,
 )
 from repro.graph.edgelist import write_binary_edgelist
-from repro.stream import OutOfCoreHep, StreamingPartitionerDriver
+from repro.stream import (
+    OutOfCoreHep,
+    StreamingPartitionerDriver,
+    chunked_quality,
+    open_edge_source,
+    scan_source,
+)
 
 __all__ = ["run"]
 
@@ -46,20 +52,29 @@ _BASELINES = ("HDRF", "Greedy", "DBH", "Grid", "Restreaming")
 _CHUNK = 1 << 14
 
 
+#: worker processes for the counting/metrics passes (bit-identical to
+#: the sequential sweeps — re-verified per run in the notes)
+_METRICS_WORKERS = 2
+
+
 def run(
     graphs: tuple[str, ...] | None = None,
     k: int = 32,
     budget_fraction: float = 0.5,
+    metrics_workers: int = _METRICS_WORKERS,
 ) -> ExperimentResult:
     """Compare every streaming baseline in-memory vs out-of-core.
 
     ``budget_fraction`` scales HEP's byte budget relative to the
     HEP-10 projected footprint, so the budgeted run genuinely has to
-    pick a smaller tau on skewed inputs.
+    pick a smaller tau on skewed inputs.  ``metrics_workers`` fans the
+    counting/metrics sweeps out over worker processes (the reported
+    quality is bit-identical either way; the equality note checks it).
     """
     names = list(graphs) if graphs else dataset_list(_DEFAULT, _FULL)
     rows: list[dict[str, object]] = []
     identical_everywhere = True
+    scan_identical = True
     with tempfile.TemporaryDirectory(prefix="ooc-exp-") as tmp:
         for name in names:
             graph = load_dataset(name)
@@ -67,7 +82,9 @@ def run(
             write_binary_edgelist(graph, path)
             for algo in _BASELINES:
                 in_mem = make_partitioner(algo).partition(graph, k)
-                driver = StreamingPartitionerDriver(algo, chunk_size=_CHUNK)
+                driver = StreamingPartitionerDriver(
+                    algo, chunk_size=_CHUNK, metrics_workers=metrics_workers
+                )
                 ooc = driver.partition(path, k)
                 same = bool(np.array_equal(ooc.parts, in_mem.parts))
                 identical_everywhere &= same
@@ -85,8 +102,23 @@ def run(
             # HEP under a genuine byte budget, from the same edge file.
             _, footprint = select_tau(graph, 10**12, k)
             budget = max(1, int(footprint * budget_fraction))
-            hep = OutOfCoreHep(memory_budget=budget, chunk_size=_CHUNK)
+            hep = OutOfCoreHep(
+                memory_budget=budget, chunk_size=_CHUNK,
+                metrics_workers=metrics_workers,
+            )
             result = hep.partition(path, k)
+            # One equality probe per graph: the worker-parallel metrics
+            # pass must match the sequential sweep bit for bit.
+            seq_rf, seq_alpha = chunked_quality(
+                open_edge_source(path, _CHUNK),
+                scan_source(open_edge_source(path, _CHUNK)),
+                k,
+                result.parts,
+            )
+            scan_identical &= (
+                result.replication_factor == seq_rf
+                and result.edge_balance == seq_alpha
+            )
             hep_in_mem = make_partitioner(f"HEP-{result.tau:g}").partition(
                 graph, k
             )
@@ -112,5 +144,9 @@ def run(
     )
     result.notes.append(
         f"streamed == in-memory for every baseline: {identical_everywhere}"
+    )
+    result.notes.append(
+        f"{metrics_workers}-worker metrics pass == sequential sweep: "
+        f"{scan_identical}"
     )
     return result

@@ -1,4 +1,9 @@
-"""Quality metrics for edge partitionings (Section 2 definitions)."""
+"""Quality metrics for edge partitionings (Section 2 definitions).
+
+In-memory assignments are scored by the classic functions below; a
+finished *on-disk* assignment is scored out of core — optionally on
+worker processes — by :mod:`repro.metrics.streaming`.
+"""
 
 from repro.metrics.balance import edge_balance, load_distribution, vertex_balance
 from repro.metrics.communication import (
@@ -12,9 +17,12 @@ from repro.metrics.replication import (
     rf_by_degree_bucket,
 )
 from repro.metrics.report import PartitionReport, format_table, summarize
+from repro.metrics.streaming import StreamedQuality, streamed_quality_report
 from repro.metrics.validity import assert_valid, is_valid
 
 __all__ = [
+    "StreamedQuality",
+    "streamed_quality_report",
     "replication_factor",
     "replicas_per_vertex",
     "rf_by_degree_bucket",

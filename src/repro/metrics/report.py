@@ -29,6 +29,7 @@ class PartitionReport:
     memory_bytes: int | None = None
 
     def row(self) -> dict[str, object]:
+        """Render the report as one table row (rounded display values)."""
         row: dict[str, object] = {
             "partitioner": self.partitioner,
             "graph": self.graph,

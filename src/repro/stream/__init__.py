@@ -10,7 +10,12 @@ paper compares against:
   an optional background-thread :class:`PrefetchingEdgeSource` wrapper
   so decode overlaps scoring,
 * :mod:`repro.stream.scan` — the shared counting and metrics passes
-  (``O(n)`` state instead of the ``O(m)`` edge list),
+  (``O(n)`` state instead of the ``O(m)`` edge list; the metrics cover
+  is bit-packed — ``k x n`` true bits — with a budget-aware
+  column-blocked fallback),
+* :mod:`repro.stream.parallel_scan` — the same two passes fanned out
+  over worker processes (degrees summed, covers OR-ed), bit-identical
+  to the sequential sweeps (``--metrics-workers N``),
 * :mod:`repro.stream.spill` — the disk-backed h2h edge file NE++
   appends to instead of holding high/high edges in RAM (raw or
   zlib-framed on-disk format),
@@ -44,6 +49,13 @@ from repro.stream.driver import (
     make_streaming_algorithm,
 )
 from repro.stream.extsort import EXTSORT_ORDERS, ExtSortResult, external_sort_edges
+from repro.stream.parallel_scan import (
+    parallel_chunked_quality,
+    parallel_scan_source,
+    scan_quality,
+    scan_stats,
+    supports_parallel_scan,
+)
 from repro.stream.pipeline import OutOfCoreHep, OutOfCoreResult
 from repro.stream.reader import (
     DEFAULT_CHUNK_SIZE,
@@ -57,7 +69,13 @@ from repro.stream.reader import (
     open_edge_source,
     sniff_edge_format,
 )
-from repro.stream.scan import SourceStats, chunked_quality, scan_source
+from repro.stream.scan import (
+    PackedCover,
+    SourceStats,
+    chunked_quality,
+    plan_cover_blocks,
+    scan_source,
+)
 from repro.stream.shard import (
     MANIFEST_SUFFIX,
     MmapEdgeSource,
@@ -94,6 +112,13 @@ __all__ = [
     "SourceStats",
     "scan_source",
     "chunked_quality",
+    "PackedCover",
+    "plan_cover_blocks",
+    "parallel_scan_source",
+    "parallel_chunked_quality",
+    "scan_stats",
+    "scan_quality",
+    "supports_parallel_scan",
     "SpillFile",
     "read_spill_header",
     "read_spill_chunks",

@@ -45,13 +45,14 @@ from repro.partition.grid import grid_cells, grid_shape, grid_stream
 from repro.partition.hdrf import hdrf_stream
 from repro.partition.restreaming import restream_block
 from repro.partition.state import StreamingState
+from repro.stream.parallel_scan import scan_quality, scan_stats
 from repro.stream.reader import (
     DEFAULT_CHUNK_SIZE,
     EdgeChunkSource,
     PrefetchingEdgeSource,
     open_edge_source,
 )
-from repro.stream.scan import SourceStats, chunked_quality, scan_source
+from repro.stream.scan import SourceStats
 
 __all__ = [
     "StreamingAlgorithm",
@@ -302,6 +303,12 @@ class StreamingPartitionerDriver:
         :class:`~repro.stream.shard.MmapEdgeSource` when the source is
         a flat binary edge file (results are bit-identical; this is a
         pure I/O optimization).
+    metrics_workers:
+        When > 1 and the source is a shard manifest or flat binary edge
+        file, run the counting and metrics passes on this many worker
+        processes (:mod:`repro.stream.parallel_scan`) — bit-identical
+        results, wall-clock scaling with cores.  0/1 keeps the
+        sequential sweeps.
     """
 
     def __init__(
@@ -313,6 +320,7 @@ class StreamingPartitionerDriver:
         seed: int = 0,
         prefetch: int = 0,
         mmap: bool = False,
+        metrics_workers: int = 0,
         **algo_kwargs,
     ) -> None:
         if isinstance(algorithm, StreamingAlgorithm):
@@ -323,12 +331,17 @@ class StreamingPartitionerDriver:
             self.algorithm = algorithm
         else:
             self.algorithm = make_streaming_algorithm(algorithm, **algo_kwargs)
+        if metrics_workers < 0:
+            raise ConfigurationError(
+                f"metrics_workers must be >= 0, got {metrics_workers}"
+            )
         self.alpha = alpha
         self.chunk_size = int(chunk_size)
         self.order = order
         self.seed = seed
         self.prefetch = int(prefetch)
         self.mmap = bool(mmap)
+        self.metrics_workers = int(metrics_workers)
         self.last_result: StreamedResult | None = None
         self.name = f"{self.algorithm.name}-ooc"
 
@@ -352,7 +365,9 @@ class StreamingPartitionerDriver:
         )
         if self.prefetch > 0:
             src = PrefetchingEdgeSource(src, depth=self.prefetch)
-        stats = scan_source(src)
+        stats = scan_stats(
+            source, src, self.metrics_workers, self.chunk_size
+        )
         if stats.num_edges == 0:
             raise PartitioningError(
                 f"{self.algorithm.name}: edge stream is empty"
@@ -365,7 +380,10 @@ class StreamingPartitionerDriver:
             for chunk in src:
                 algo.process(chunk.pairs, chunk.eids, parts)
         parts = algo.finalize(parts, k, capacity)
-        rf, balance = chunked_quality(src, stats, k, parts)
+        rf, balance = scan_quality(
+            source, src, stats, k, parts, self.metrics_workers,
+            self.chunk_size,
+        )
         result = StreamedResult(
             algorithm=algo.name,
             parts=parts,

@@ -1,0 +1,413 @@
+"""Worker-parallel counting & metrics passes over segmentable sources.
+
+PR 4 parallelized the *streaming phase*; this module parallelizes the
+two remaining sequential ``O(m)`` sweeps — the counting pass and the
+quality/metrics pass (:mod:`repro.stream.scan`) — on the same worker
+machinery (:class:`~repro.stream.workers.BaseWorkerPool`, the shard
+assignment of :func:`~repro.stream.workers.plan_worker_segments`, the
+spill-frame wire format).  Both passes are pure order-independent
+reductions, so the parallel runs are **bit-identical** to the
+sequential references:
+
+* **counting** (:func:`parallel_scan_source`) — each worker sweeps its
+  shard assignment accumulating a partial degree array and edge count
+  (:func:`~repro.stream.scan.accumulate_degrees`, the same chunk step
+  the sequential pass runs); the coordinator *sums* the partials and
+  applies the identical declared-universe reconciliation
+  (:func:`~repro.stream.scan.finalize_source_stats`).
+* **metrics** (:func:`parallel_chunked_quality`) — each worker sweeps
+  its assignment marking per-partition vertex covers as packed bits
+  (:class:`~repro.stream.scan.PackedCover`, ``k x n`` true bits); the
+  coordinator *ORs* the partial covers and popcounts the merge.  The
+  column-blocked budget fallback (:func:`~repro.stream.scan.
+  plan_cover_blocks`) applies unchanged: every process holds at most
+  one block's cover at a time, so ``--memory-budget`` bounds worker
+  memory too (each worker pays one cover — the same replication price
+  the BSP snapshot already set a precedent for).
+
+Failure semantics are the pool's: a worker that dies or hits a corrupt
+shard surfaces as one :class:`~repro.errors.WorkerFailureError` and no
+process is orphaned.
+
+The front doors :func:`scan_stats` / :func:`scan_quality` pick the
+parallel path when the source is segmentable on disk
+(:func:`supports_parallel_scan`: a shard manifest or flat binary edge
+file) and ``workers > 1``, and fall back to the sequential pass on the
+already-opened chunk source otherwise — which is how every driver
+(:mod:`repro.stream.driver`, :mod:`repro.stream.pipeline`,
+:mod:`repro.stream.workers`, :mod:`repro.stream.extsort`) wires them.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError, WorkerFailureError
+from repro.stream.reader import (
+    BINARY_SUFFIXES,
+    DEFAULT_CHUNK_SIZE,
+    EdgeChunkSource,
+    _validate_chunk,
+)
+from repro.stream.scan import (
+    PackedCover,
+    SourceStats,
+    accumulate_degrees,
+    chunked_quality,
+    finalize_source_stats,
+    plan_cover_blocks,
+    scan_source,
+)
+from repro.stream.shard import is_manifest_path
+from repro.stream.workers import (
+    _claim_pipe,
+    _iter_segment,
+    _MSG_ERROR,
+    _pack_message,
+    _unpack_message,
+    BaseWorkerPool,
+    plan_worker_segments,
+)
+
+__all__ = [
+    "supports_parallel_scan",
+    "effective_scan_workers",
+    "parallel_scan_source",
+    "parallel_chunked_quality",
+    "scan_stats",
+    "scan_quality",
+    "DEFAULT_SCAN_TIMEOUT",
+]
+
+#: seconds the coordinator waits on a silent scan worker.  Unlike the
+#: BSP pool (which hears from every worker once per superstep, so its
+#: 120s default means real silence), a scan worker's first bytes arrive
+#: only after it sweeps its whole shard assignment — minutes of healthy
+#: silence on big inputs — so the hang watchdog is far more generous.
+#: A *dead* worker is still detected promptly via process liveness.
+DEFAULT_SCAN_TIMEOUT = 3600.0
+
+# message tags (the spill-frame wire format of repro.stream.workers)
+_MSG_COUNTS = b"G"  # worker -> coord: int64 edge count + partial degrees
+_MSG_COVER = b"C"   # worker -> coord: one block's packed cover words
+
+
+def _resurface_error(pool: BaseWorkerPool, w: int, payload) -> None:
+    """Re-raise a worker's forwarded exception with sequential-pass types.
+
+    The scan sweeps are deterministic reads, so a data problem a worker
+    hits (a truncated or malformed shard) is the *source's* fault and
+    resurfaces as :class:`~repro.errors.GraphFormatError` — exactly what
+    the sequential pass would have raised in-process.  Anything else
+    stays a :class:`~repro.errors.WorkerFailureError` via the pool.
+    """
+    try:
+        exc_type, message = pickle.loads(bytes(payload))
+    except Exception:  # noqa: BLE001 — corrupt error payloads
+        pool._raise_worker_error(w, payload)
+        return
+    if exc_type == "GraphFormatError":
+        raise GraphFormatError(
+            f"{message} (read by {pool._describe_worker(w)})"
+        )
+    pool._raise_worker_error(w, payload)
+
+
+def supports_parallel_scan(source) -> bool:
+    """True when ``source`` names an on-disk stream workers can split.
+
+    The scan pools assign work with :func:`~repro.stream.workers.
+    plan_worker_segments`, which understands shard manifests and flat
+    binary edge files.  Dataset names, in-memory graphs, text files and
+    already-opened sources fall back to the sequential pass.
+    """
+    if isinstance(source, EdgeChunkSource) or not isinstance(
+        source, (str, os.PathLike)
+    ):
+        return False
+    path = Path(source)
+    if not path.exists():
+        return False
+    return is_manifest_path(path) or path.suffix in BINARY_SUFFIXES
+
+
+def effective_scan_workers(source, workers: int) -> int:
+    """Workers the front doors will actually fan out over (0 = sequential).
+
+    The single source of truth for the parallel-vs-sequential decision:
+    :func:`scan_stats`, :func:`scan_quality` and the CLI's ``scan
+    passes`` report all call this, so what is printed always matches
+    what ran.
+    """
+    return workers if workers > 1 and supports_parallel_scan(source) else 0
+
+
+# -- worker entry points ----------------------------------------------------
+
+
+def _counting_worker_main(
+    worker_id: int, pipes: list, segments, chunk_size: int
+) -> None:
+    """One counting worker: partial degrees + edge count over its segments."""
+    conn = _claim_pipe(worker_id, pipes)
+    try:
+        degrees = np.zeros(0, dtype=np.int64)
+        num_edges = 0
+        for segment in segments:
+            path = Path(segment.path)
+            for pairs, _eids in _iter_segment(segment, chunk_size):
+                _validate_chunk(pairs, path)
+                num_edges += pairs.shape[0]
+                degrees = accumulate_degrees(degrees, pairs)
+        payload = (
+            np.array([num_edges], dtype="<i8").tobytes()
+            + np.ascontiguousarray(degrees, dtype="<i8").tobytes()
+        )
+        conn.send_bytes(_pack_message(_MSG_COUNTS, degrees.size, payload))
+    except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
+        try:
+            conn.send_bytes(
+                _pack_message(
+                    _MSG_ERROR, 0,
+                    pickle.dumps((type(exc).__name__, str(exc))),
+                )
+            )
+        except OSError:
+            pass  # coordinator already gone; exit quietly
+    finally:
+        conn.close()
+
+
+def _cover_worker_main(
+    worker_id: int,
+    pipes: list,
+    segments,
+    chunk_size: int,
+    k: int,
+    parts: np.ndarray,
+    blocks,
+) -> None:
+    """One metrics worker: per-block packed covers over its segments."""
+    conn = _claim_pipe(worker_id, pipes)
+    try:
+        parts = np.asarray(parts)
+        for index, (lo, hi) in enumerate(blocks):
+            cover = PackedCover(k, lo, hi)
+            for segment in segments:
+                path = Path(segment.path)
+                for pairs, eids in _iter_segment(segment, chunk_size):
+                    _validate_chunk(pairs, path)
+                    cover.mark_assignment(parts, pairs, eids)
+            conn.send_bytes(
+                _pack_message(_MSG_COVER, index, cover.words.tobytes())
+            )
+    except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
+        try:
+            conn.send_bytes(
+                _pack_message(
+                    _MSG_ERROR, 0,
+                    pickle.dumps((type(exc).__name__, str(exc))),
+                )
+            )
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+# -- pools ------------------------------------------------------------------
+
+
+class _CountingPool(BaseWorkerPool):
+    """Map-reduce pool for the counting pass (one message per worker)."""
+
+    _worker_target = staticmethod(_counting_worker_main)
+
+    def __init__(self, worker_segments, chunk_size, **kwargs) -> None:
+        super().__init__(worker_segments, **kwargs)
+        self.chunk_size = int(chunk_size)
+
+    def _spawn_args(self, worker_id: int) -> tuple:
+        return (self.chunk_size,)
+
+    def merge(self) -> tuple[np.ndarray, int]:
+        """Sum every worker's partial degrees; returns (degrees, edges)."""
+        degrees = np.zeros(0, dtype=np.int64)
+        num_edges = 0
+        for w in range(self.workers):
+            tag, local_n, payload = _unpack_message(self._recv(w))
+            if tag == _MSG_ERROR:
+                _resurface_error(self, w, payload)
+            if tag != _MSG_COUNTS:
+                raise WorkerFailureError(
+                    f"{self._describe_worker(w)}: expected a counting "
+                    f"result, got {tag!r}"
+                )
+            num_edges += int(np.frombuffer(payload, dtype="<i8", count=1)[0])
+            partial = np.frombuffer(
+                payload, dtype="<i8", count=local_n, offset=8
+            )
+            if local_n > degrees.size:
+                grown = np.zeros(local_n, dtype=np.int64)
+                grown[: degrees.size] = degrees
+                degrees = grown
+            degrees[:local_n] += partial
+        return degrees, num_edges
+
+
+class _CoverPool(BaseWorkerPool):
+    """Map-reduce pool for the metrics pass (one message per block)."""
+
+    _worker_target = staticmethod(_cover_worker_main)
+
+    def __init__(
+        self, worker_segments, chunk_size, k, parts, blocks, **kwargs
+    ) -> None:
+        super().__init__(worker_segments, **kwargs)
+        self.chunk_size = int(chunk_size)
+        self.k = int(k)
+        self.parts = parts
+        self.blocks = list(blocks)
+
+    def _spawn_args(self, worker_id: int) -> tuple:
+        return (self.chunk_size, self.k, self.parts, self.blocks)
+
+    def merge_block(self, index: int, lo: int, hi: int) -> int:
+        """OR every worker's cover for one block; returns its set bits."""
+        merged = PackedCover(self.k, lo, hi)
+        for w in range(self.workers):
+            tag, sent_index, payload = _unpack_message(self._recv(w))
+            if tag == _MSG_ERROR:
+                _resurface_error(self, w, payload)
+            if tag != _MSG_COVER or sent_index != index:
+                raise WorkerFailureError(
+                    f"{self._describe_worker(w)}: expected cover block "
+                    f"{index}, got {tag!r} #{sent_index}"
+                )
+            merged.union_update(payload)
+        return merged.count()
+
+
+# -- coordinator entry points -----------------------------------------------
+
+
+def parallel_scan_source(
+    source,
+    workers: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    mp_context: str | None = None,
+    timeout: float = DEFAULT_SCAN_TIMEOUT,
+) -> SourceStats:
+    """Counting pass on ``workers`` processes — ≡ :func:`scan_source`.
+
+    ``source`` is a shard manifest or flat binary edge file
+    (:func:`supports_parallel_scan`).  Shards are dealt round-robin (a
+    flat file is split contiguously); each worker returns its partial
+    degree array and edge count and the coordinator sums them — the
+    same integers the sequential sweep accumulates, in a different
+    order, so the merged :class:`~repro.stream.scan.SourceStats` is
+    bit-identical.
+    """
+    segments, _, planned_edges, declared = plan_worker_segments(
+        source, workers
+    )
+    with _CountingPool(
+        segments, chunk_size, mp_context=mp_context, timeout=timeout
+    ) as pool:
+        degrees, num_edges = pool.merge()
+    if num_edges != planned_edges:
+        raise GraphFormatError(
+            f"{source}: parallel counting pass saw {num_edges} edges but "
+            f"the source declares {planned_edges}; it changed on disk"
+        )
+    return finalize_source_stats(degrees, num_edges, declared, str(source))
+
+
+def parallel_chunked_quality(
+    source,
+    stats: SourceStats,
+    k: int,
+    parts: np.ndarray,
+    workers: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    memory_budget: int | None = None,
+    mp_context: str | None = None,
+    timeout: float = DEFAULT_SCAN_TIMEOUT,
+) -> tuple[float, float]:
+    """Metrics pass on ``workers`` processes — ≡ :func:`chunked_quality`.
+
+    Workers sweep their shard assignment once per cover block
+    (:func:`~repro.stream.scan.plan_cover_blocks` under
+    ``memory_budget``), shipping each block's packed per-part covers;
+    the coordinator ORs them and popcounts the merge.  Cover bits are
+    idempotent under OR, so the merged count equals the sequential
+    sweep's exactly and the returned floats are bit-identical.
+    """
+    sizes = np.bincount(parts[parts >= 0], minlength=k)
+    if stats.num_edges == 0:
+        return 0.0, 1.0
+    blocks = plan_cover_blocks(stats.num_vertices, k, memory_budget)
+    segments, _, _, _ = plan_worker_segments(source, workers)
+    replicas = 0
+    with _CoverPool(
+        segments, chunk_size, k, parts, blocks,
+        mp_context=mp_context, timeout=timeout,
+    ) as pool:
+        for index, (lo, hi) in enumerate(blocks):
+            replicas += pool.merge_block(index, lo, hi)
+    covered = int((stats.degrees > 0).sum())
+    rf = float(replicas / covered) if covered else 0.0
+    balance = float(sizes.max() / (stats.num_edges / k))
+    return rf, balance
+
+
+# -- front doors (what the drivers call) ------------------------------------
+
+
+def scan_stats(
+    source,
+    opened: EdgeChunkSource,
+    workers: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    mp_context: str | None = None,
+    timeout: float = DEFAULT_SCAN_TIMEOUT,
+) -> SourceStats:
+    """Counting pass, parallel when it can be: the drivers' front door.
+
+    ``source`` is the caller's original source argument (used to plan
+    worker segments when it is segmentable), ``opened`` the chunk
+    source already opened from it (used for the sequential fallback, so
+    prefetch/mmap wrappers keep serving the sequential path).
+    """
+    if effective_scan_workers(source, workers):
+        return parallel_scan_source(
+            source, workers, chunk_size, mp_context=mp_context,
+            timeout=timeout,
+        )
+    return scan_source(opened)
+
+
+def scan_quality(
+    source,
+    opened: EdgeChunkSource,
+    stats: SourceStats,
+    k: int,
+    parts: np.ndarray,
+    workers: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    memory_budget: int | None = None,
+    mp_context: str | None = None,
+    timeout: float = DEFAULT_SCAN_TIMEOUT,
+) -> tuple[float, float]:
+    """Metrics pass, parallel when it can be: the drivers' front door."""
+    if effective_scan_workers(source, workers):
+        return parallel_chunked_quality(
+            source, stats, k, parts, workers, chunk_size,
+            memory_budget=memory_budget, mp_context=mp_context,
+            timeout=timeout,
+        )
+    return chunked_quality(opened, stats, k, parts, memory_budget)

@@ -21,9 +21,13 @@ the chunk size:
 5. **Phase two** — the spill file is streamed back in chunks through
    informed HDRF, optionally behind a buffered scoring window
    (:mod:`repro.stream.buffered`).
-6. **Metrics pass** — replication factor and balance are computed by one
-   more chunked sweep over the source (the cover matrix is ``k×n`` bits,
-   the same footprint NE++'s secondary sets already paid).
+6. **Metrics pass** — replication factor and balance are computed by
+   chunked sweeps over the source.  The per-partition vertex covers are
+   genuinely bit-packed (``k×n`` bits via
+   :class:`~repro.stream.scan.PackedCover`); when even that exceeds the
+   byte budget the sweep falls back to column blocks, and with
+   ``metrics_workers > 1`` both this pass and the counting pass run on
+   worker processes (:mod:`repro.stream.parallel_scan`) bit-identically.
 
 With ``order="natural"`` and no buffering the result is bit-identical
 to :class:`~repro.core.hep.HepPartitioner` on the same input — the
@@ -52,7 +56,7 @@ from repro.stream.reader import (
     PrefetchingEdgeSource,
     open_edge_source,
 )
-from repro.stream.scan import SourceStats, chunked_quality, scan_source
+from repro.stream.scan import SourceStats, scan_source
 from repro.stream.spill import SpillFile
 
 __all__ = ["OutOfCoreHep", "OutOfCoreResult", "SourceStats", "scan_source"]
@@ -120,6 +124,13 @@ class OutOfCoreHep:
         a flat binary edge file (bit-identical results, fewer copies).
     order, seed:
         Chunk order for sources that support reordering.
+    metrics_workers:
+        When > 1 and the source is a shard manifest or flat binary edge
+        file, the counting and metrics passes run on this many worker
+        processes (:mod:`repro.stream.parallel_scan`), bit-identically
+        to the sequential sweeps.  ``memory_budget`` additionally
+        bounds the metrics cover itself (column-blocked sweeps when the
+        ``k x n``-bit cover would not fit).
     """
 
     def __init__(
@@ -139,12 +150,17 @@ class OutOfCoreHep:
         seed: int = 0,
         prefetch: int = 0,
         mmap: bool = False,
+        metrics_workers: int = 0,
     ) -> None:
         if tau is not None and tau <= 0:
             raise ConfigurationError(f"tau must be positive, got {tau}")
         if memory_budget is not None and memory_budget < 1:
             raise ConfigurationError(
                 f"memory_budget must be positive, got {memory_budget}"
+            )
+        if metrics_workers < 0:
+            raise ConfigurationError(
+                f"metrics_workers must be >= 0, got {metrics_workers}"
             )
         self.tau = tau
         self.alpha = alpha
@@ -156,6 +172,7 @@ class OutOfCoreHep:
         self.spill_compression = spill_compression
         self.prefetch = int(prefetch)
         self.mmap = bool(mmap)
+        self.metrics_workers = int(metrics_workers)
         self.memory_budget = memory_budget
         self.tau_grid = tau_grid
         self.id_bytes = id_bytes
@@ -171,6 +188,10 @@ class OutOfCoreHep:
         :func:`~repro.stream.reader.open_edge_source` accepts."""
         if k < 2:
             raise ConfigurationError(f"out-of-core HEP requires k >= 2, got {k}")
+        # Deferred: parallel_scan -> workers -> this module (MultiWorkerHep
+        # subclasses OutOfCoreHep), so a top-level import would cycle.
+        from repro.stream.parallel_scan import scan_quality, scan_stats
+
         start = time.perf_counter()
         src = open_edge_source(
             source, self.chunk_size, order=self.order, seed=self.seed,
@@ -178,7 +199,13 @@ class OutOfCoreHep:
         )
         if self.prefetch > 0:
             src = PrefetchingEdgeSource(src, depth=self.prefetch)
-        stats = scan_source(src)
+        # MultiWorkerHep carries a start-method choice for its BSP pool;
+        # the scan pools must honor the same one (fork-unsafe hosts).
+        mp_context = getattr(self, "mp_context", None)
+        stats = scan_stats(
+            source, src, self.metrics_workers, self.chunk_size,
+            mp_context=mp_context,
+        )
         if stats.num_edges == 0:
             raise PartitioningError("out-of-core HEP: edge stream is empty")
 
@@ -214,7 +241,11 @@ class OutOfCoreHep:
             cleanup_removed_fraction=phase_one.stats.cleanup_removed_fraction,
             spilled_edges=phase_one.stats.spilled_edges,
         )
-        rf, balance = chunked_quality(src, stats, k, parts)
+        rf, balance = scan_quality(
+            source, src, stats, k, parts, self.metrics_workers,
+            self.chunk_size, memory_budget=self.memory_budget,
+            mp_context=mp_context,
+        )
         result = OutOfCoreResult(
             parts=parts,
             k=k,

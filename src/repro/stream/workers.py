@@ -83,7 +83,8 @@ from repro.stream.reader import (
     PrefetchingEdgeSource,
     open_edge_source,
 )
-from repro.stream.scan import chunked_quality, scan_source
+# (the counting/metrics front doors are imported lazily inside the
+# drivers: repro.stream.parallel_scan builds on this module's pools)
 from repro.stream.shard import (
     is_manifest_path,
     read_flat_edge_blocks,
@@ -97,6 +98,7 @@ from repro.stream.spill import _FRAME, SpillFile, read_spill_chunks
 
 __all__ = [
     "EdgeSegment",
+    "BaseWorkerPool",
     "WorkerPool",
     "StateService",
     "MultiWorkerReport",
@@ -281,6 +283,25 @@ def _unpack_triples(
 # -- worker process ---------------------------------------------------------
 
 
+def _claim_pipe(worker_id: int, pipes: list):
+    """Keep worker ``worker_id``'s child pipe end; close every other end.
+
+    Closing the inherited ends that are not ours keeps EOF detection and
+    fd hygiene intact after the fork.  Shared by every worker entry
+    point (BSP streaming here, counting/metrics sweeps in
+    :mod:`repro.stream.parallel_scan`).
+    """
+    conn = pipes[worker_id][1]
+    for i, (parent_end, child_end) in enumerate(pipes):
+        try:
+            parent_end.close()
+            if i != worker_id:
+                child_end.close()
+        except OSError:
+            pass
+    return conn
+
+
 def _worker_main(
     worker_id: int,
     pipes: list,
@@ -306,16 +327,7 @@ def _worker_main(
     exit — the coordinator turns it into one
     :class:`~repro.errors.WorkerFailureError`.
     """
-    conn = pipes[worker_id][1]
-    # Close every inherited pipe end that is not ours, so EOF detection
-    # and fd hygiene survive the fork.
-    for i, (parent_end, child_end) in enumerate(pipes):
-        try:
-            parent_end.close()
-            if i != worker_id:
-                child_end.close()
-        except OSError:
-            pass
+    conn = _claim_pipe(worker_id, pipes)
     try:
         if init_replicas is None:
             replicas = np.zeros((k, num_vertices), dtype=bool)
@@ -459,21 +471,23 @@ class StateService:
         return us, vs, ps
 
 
-class WorkerPool:
-    """N worker processes + pipes driving one BSP run (context manager).
+class BaseWorkerPool:
+    """Lifecycle shared by every segment-sweeping worker-process pool.
+
+    Owns the processes, pipes, liveness-watching receive loop and the
+    single-:class:`~repro.errors.WorkerFailureError` failure surface
+    (terminate + join everything, no orphans).  Subclasses provide the
+    module-level worker entry point (``_worker_target``) and the extra
+    spawn arguments (:meth:`_spawn_args`); what flows over the pipes is
+    theirs to define.  :class:`WorkerPool` drives the BSP partitioning
+    protocol on top; the counting/metrics pools in
+    :mod:`repro.stream.parallel_scan` run one-shot map-reduce sweeps.
 
     Parameters
     ----------
     worker_segments:
         One list of :class:`EdgeSegment` per worker (may be empty — the
-        worker reports DONE immediately).
-    state:
-        The coordinator's live state; its replica/load arrays (and
-        degrees/capacity) seed every worker's snapshot.
-    batch:
-        Edges each worker scores per superstep.
-    chunk_size:
-        I/O block size for the workers' segment readers.
+        worker reports its empty result immediately).
     mp_context:
         ``multiprocessing`` start method; default prefers ``fork``
         (cheap, inherits the init arrays) and falls back to ``spawn``.
@@ -482,28 +496,20 @@ class WorkerPool:
         :class:`~repro.errors.WorkerFailureError`.
     """
 
+    #: module-level worker entry point, set by subclasses via
+    #: ``staticmethod(...)`` so it stays spawn-picklable
+    _worker_target = None
+
     def __init__(
         self,
         worker_segments: Sequence[Sequence[EdgeSegment]],
-        state: StreamingState,
-        batch: int = DEFAULT_WORKER_BATCH,
-        lam: float = 1.1,
-        eps: float = 1.0,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
         mp_context: str | None = None,
         timeout: float = DEFAULT_WORKER_TIMEOUT,
     ) -> None:
         if not worker_segments:
             raise ConfigurationError("worker_segments must name >= 1 worker")
-        if batch < 1:
-            raise ConfigurationError(f"batch must be >= 1, got {batch}")
         self.worker_segments = [list(segs) for segs in worker_segments]
         self.workers = len(self.worker_segments)
-        self.state = state
-        self.batch = int(batch)
-        self.lam = lam
-        self.eps = eps
-        self.chunk_size = int(chunk_size)
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
@@ -512,34 +518,29 @@ class WorkerPool:
         self._procs: list = []
         self._conns: list = []
 
+    def _spawn_args(self, worker_id: int) -> tuple:
+        """Extra positional args for ``_worker_target`` after the segments."""
+        raise NotImplementedError
+
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
-        """Fork the workers; each gets its segments and a state snapshot."""
+        """Fork the workers; each gets its segments and the spawn args."""
         if self._procs:
-            raise ConfigurationError("WorkerPool already started")
+            raise ConfigurationError(
+                f"{type(self).__name__} already started"
+            )
         ctx = multiprocessing.get_context(self.mp_context)
         pipes = [ctx.Pipe(duplex=True) for _ in range(self.workers)]
-        state = self.state
         try:
             for w in range(self.workers):
                 proc = ctx.Process(
-                    target=_worker_main,
+                    target=type(self)._worker_target,
                     args=(
                         w,
                         pipes,
                         self.worker_segments[w],
-                        state.num_vertices,
-                        state.k,
-                        state.capacity,
-                        state.degrees,
-                        state.replicas,
-                        state.loads,
-                        self.workers,
-                        self.batch,
-                        self.lam,
-                        self.eps,
-                        self.chunk_size,
+                        *self._spawn_args(w),
                     ),
                     name=f"repro-worker-{w}",
                     daemon=True,
@@ -577,14 +578,16 @@ class WorkerPool:
                 proc.join()
         self._procs = []
 
-    def __enter__(self) -> "WorkerPool":
+    def __enter__(self) -> "BaseWorkerPool":
+        """Start the pool on entry."""
         self.start()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        """Tear the pool down (terminate/join/close) on exit."""
         self.close()
 
-    # -- protocol -----------------------------------------------------------
+    # -- protocol plumbing --------------------------------------------------
 
     def _describe_worker(self, w: int) -> str:
         segments = self.worker_segments[w]
@@ -596,7 +599,7 @@ class WorkerPool:
     def _worker_died(self, w: int) -> WorkerFailureError:
         exitcode = self._procs[w].exitcode
         return WorkerFailureError(
-            f"{self._describe_worker(w)} died mid-superstep "
+            f"{self._describe_worker(w)} died mid-sweep "
             f"(exit code {exitcode}) before finishing its stream"
         )
 
@@ -633,6 +636,71 @@ class WorkerPool:
         raise WorkerFailureError(
             f"{self._describe_worker(w)} failed: {exc_type}: {message}"
         )
+
+
+class WorkerPool(BaseWorkerPool):
+    """N worker processes + pipes driving one BSP run (context manager).
+
+    Parameters
+    ----------
+    worker_segments:
+        One list of :class:`EdgeSegment` per worker (may be empty — the
+        worker reports DONE immediately).
+    state:
+        The coordinator's live state; its replica/load arrays (and
+        degrees/capacity) seed every worker's snapshot.
+    batch:
+        Edges each worker scores per superstep.
+    chunk_size:
+        I/O block size for the workers' segment readers.
+    mp_context:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (cheap, inherits the init arrays) and falls back to ``spawn``.
+    timeout:
+        Seconds the coordinator waits on a silent worker before raising
+        :class:`~repro.errors.WorkerFailureError`.
+    """
+
+    _worker_target = staticmethod(_worker_main)
+
+    def __init__(
+        self,
+        worker_segments: Sequence[Sequence[EdgeSegment]],
+        state: StreamingState,
+        batch: int = DEFAULT_WORKER_BATCH,
+        lam: float = 1.1,
+        eps: float = 1.0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        mp_context: str | None = None,
+        timeout: float = DEFAULT_WORKER_TIMEOUT,
+    ) -> None:
+        super().__init__(worker_segments, mp_context=mp_context, timeout=timeout)
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        self.state = state
+        self.batch = int(batch)
+        self.lam = lam
+        self.eps = eps
+        self.chunk_size = int(chunk_size)
+
+    def _spawn_args(self, worker_id: int) -> tuple:
+        """Snapshot seed + schedule parameters for one BSP worker."""
+        state = self.state
+        return (
+            state.num_vertices,
+            state.k,
+            state.capacity,
+            state.degrees,
+            state.replicas,
+            state.loads,
+            self.workers,
+            self.batch,
+            self.lam,
+            self.eps,
+            self.chunk_size,
+        )
+
+    # -- protocol -----------------------------------------------------------
 
     def run(self, parts: np.ndarray) -> MultiWorkerReport:
         """Drive supersteps until every worker reports DONE.
@@ -884,6 +952,7 @@ class MultiWorkerStreamingDriver:
         prefetch: int = 0,
         mp_context: str | None = None,
         timeout: float = DEFAULT_WORKER_TIMEOUT,
+        metrics_workers: int | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -898,6 +967,11 @@ class MultiWorkerStreamingDriver:
         self.prefetch = int(prefetch)
         self.mp_context = mp_context
         self.timeout = timeout
+        # The counting/metrics sweeps default to the same parallelism as
+        # the streaming phase (bit-identical either way).
+        self.metrics_workers = (
+            self.workers if metrics_workers is None else int(metrics_workers)
+        )
         self.last_result: MultiWorkerResult | None = None
         self.name = f"HDRF-mw{workers}"
 
@@ -907,6 +981,9 @@ class MultiWorkerStreamingDriver:
             raise ConfigurationError(
                 f"multi-worker partitioning requires k >= 2, got {k}"
             )
+        # Deferred: parallel_scan imports this module's pool machinery.
+        from repro.stream.parallel_scan import scan_quality, scan_stats
+
         start = time.perf_counter()
         segments, _, num_edges, _ = plan_worker_segments(
             source, self.workers
@@ -916,7 +993,12 @@ class MultiWorkerStreamingDriver:
         src = open_edge_source(source, self.chunk_size)
         if self.prefetch > 0:
             src = PrefetchingEdgeSource(src, depth=self.prefetch)
-        stats = scan_source(src)
+        # No timeout forwarding: self.timeout is the BSP per-superstep
+        # watchdog; the scan pools' whole-sweep default applies instead.
+        stats = scan_stats(
+            source, src, self.metrics_workers, self.chunk_size,
+            mp_context=self.mp_context,
+        )
         capacity = capacity_bound(stats.num_edges, k, self.alpha)
         state = StreamingState(
             stats.num_vertices, k, capacity, exact_degrees=stats.degrees
@@ -933,7 +1015,10 @@ class MultiWorkerStreamingDriver:
             timeout=self.timeout,
         ) as pool:
             report = pool.run(parts)
-        rf, balance = chunked_quality(src, stats, k, parts)
+        rf, balance = scan_quality(
+            source, src, stats, k, parts, self.metrics_workers,
+            self.chunk_size, mp_context=self.mp_context,
+        )
         result = MultiWorkerResult(
             algorithm=f"HDRF-mw{self.workers}",
             parts=parts,
@@ -985,6 +1070,8 @@ class MultiWorkerHep(OutOfCoreHep):
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if batch < 1:
             raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        # Counting/metrics sweeps default to the streaming parallelism.
+        kwargs.setdefault("metrics_workers", int(workers))
         super().__init__(**kwargs)
         self.workers = int(workers)
         self.batch = int(batch)

@@ -540,3 +540,114 @@ class TestMultiWorkerCli:
             batch=4, streams=streams,
         )
         assert np.array_equal(got, oracle)
+
+
+class TestScanCommand:
+    @pytest.fixture()
+    def binary_graph(self, tmp_path):
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3), (4, 0), (4, 1)],
+            num_vertices=6,
+        )
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(g, path)
+        return g, path
+
+    def test_scan_stats_only(self, binary_graph, capsys):
+        g, path = binary_graph
+        rc = main(["scan", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"m={g.num_edges:,}" in out
+        assert "sequential" in out
+
+    def test_scan_with_parts(self, binary_graph, tmp_path, capsys):
+        g, path = binary_graph
+        parts_file = tmp_path / "parts.txt"
+        rc = main(
+            ["partition", str(path), "--k", "2", "--algo", "HDRF",
+             "--out-of-core", "--output", str(parts_file)]
+        )
+        assert rc == 0
+        partition_out = capsys.readouterr().out
+        rc = main(["scan", str(path), "--parts", str(parts_file), "--k", "2"])
+        assert rc == 0
+        scan_out = capsys.readouterr().out
+        # The scan's quality lines must reproduce the partition report's.
+        for line in partition_out.splitlines():
+            if "replication factor" in line or "edge balance" in line:
+                assert line in scan_out
+        assert "unassigned edges   : 0" in scan_out
+
+    def test_scan_parallel_workers(self, binary_graph, tmp_path, capsys):
+        g, path = binary_graph
+        parts_file = tmp_path / "parts.txt"
+        np.savetxt(parts_file, np.zeros(g.num_edges, dtype=np.int64), fmt="%d")
+        rc = main(
+            ["scan", str(path), "--parts", str(parts_file),
+             "--metrics-workers", "2", "--memory-budget", "64"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 worker processes" in out
+        # k defaults to max id + 1 = 1; every covered vertex once.
+        assert "replication factor : 1.0000" in out
+
+    def test_scan_rejects_negative_workers(self, binary_graph, capsys):
+        _, path = binary_graph
+        rc = main(["scan", str(path), "--metrics-workers", "-1"])
+        assert rc == 1
+        assert "--metrics-workers" in capsys.readouterr().err
+
+    def test_metrics_workers_requires_out_of_core(
+        self, small_graph_file, capsys
+    ):
+        rc = main(
+            ["partition", str(small_graph_file), "--k", "2",
+             "--metrics-workers", "2"]
+        )
+        assert rc == 1
+        assert "--metrics-workers requires" in capsys.readouterr().err
+
+    def test_partition_metrics_workers_matches_sequential(
+        self, tmp_path, capsys
+    ):
+        g = Graph.from_edges(
+            [(i, (i + j) % 19) for i in range(19) for j in (1, 2, 3)],
+            num_vertices=19,
+        )
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(g, path)
+        rc = main(
+            ["partition", str(path), "--k", "2", "--algo", "HDRF",
+             "--out-of-core", "--metrics-workers", "2"]
+        )
+        assert rc == 0
+        fanned = capsys.readouterr().out
+        rc = main(
+            ["partition", str(path), "--k", "2", "--algo", "HDRF",
+             "--out-of-core"]
+        )
+        assert rc == 0
+        sequential = capsys.readouterr().out
+
+        def quality(text):
+            return [
+                line for line in text.splitlines()
+                if "replication factor" in line or "edge balance" in line
+            ]
+
+        assert quality(fanned) == quality(sequential)
+
+    def test_extsort_scan_workers(self, tmp_path, capsys):
+        g = Graph.from_edges(
+            [(i, (i + 1) % 12) for i in range(12)], num_vertices=12
+        )
+        path = tmp_path / "g.bin"
+        write_binary_edgelist(g, path)
+        rc = main(
+            ["extsort", str(path), str(tmp_path / "sorted.bin"),
+             "--order", "degree", "--scan-workers", "2"]
+        )
+        assert rc == 0
+        assert (tmp_path / "sorted.bin").stat().st_size == path.stat().st_size

@@ -1,9 +1,9 @@
 """Docstring lint for the documented public API.
 
 The ``repro.stream``, ``repro.partition``, ``repro.graph``, ``repro.
-core`` and ``repro.parallel`` packages are the repo's documented
-surface (see docs/): every module and every public class, function,
-method and property there must carry a docstring.  CI additionally runs
+core``, ``repro.parallel`` and ``repro.metrics`` packages are the
+repo's documented surface (see docs/): every module and every public
+class, function, method and property there must carry a docstring.  CI additionally runs
 ``ruff check`` with the pydocstyle ``D1`` rules over the same paths
 (see .github/workflows/ci.yml and the ``[tool.ruff]`` table in
 pyproject.toml); this AST-based test enforces the same contract without
@@ -20,7 +20,7 @@ import pytest
 import repro
 
 _SRC = Path(repro.__file__).resolve().parent
-_LINTED_PACKAGES = ("stream", "partition", "graph", "core", "parallel")
+_LINTED_PACKAGES = ("stream", "partition", "graph", "core", "parallel", "metrics")
 
 
 def _linted_files():
