@@ -14,8 +14,14 @@ Subcommands mirror the workflows a user of the original C++ system has:
 * ``select-tau`` — pick the largest tau fitting a memory budget (§4.4),
 * ``extsort``   — rewrite an edge file in degree order with bounded
   memory (external merge sort),
+* ``trace``     — inspect a ``--trace`` JSONL file (``trace summarize``
+  prints the per-phase time/memory/counter breakdown),
 * ``experiment`` — regenerate one of the paper's tables/figures,
 * ``datasets``  — list the Table 3 stand-ins or export one to disk.
+
+``partition``, ``scan`` and ``extsort`` accept ``--trace FILE`` to
+record a structured span trace of the run (:mod:`repro.obs`); tracing
+never changes results, only observes them.
 """
 
 from __future__ import annotations
@@ -39,6 +45,8 @@ from repro.metrics import (
     replication_factor,
     vertex_balance,
 )
+from repro.obs.summary import format_summary, read_trace
+from repro.obs.tracer import MEMORY_MODES, tracing
 from repro.stream.extsort import EXTSORT_ORDERS
 from repro.stream.reader import DEFAULT_CHUNK_SIZE
 
@@ -238,6 +246,15 @@ def _print_worker_report(report) -> None:
     print(f"bsp schedule       : {report.workers} workers x batch "
           f"{report.batch} = {report.supersteps:,} supersteps "
           f"({report.slow_supersteps} near capacity)")
+    timings = report.timings
+    if timings is None:
+        return
+    print(f"worker busy        : max {timings.max_busy_s:.3f}s, "
+          f"mean {timings.mean_busy_s:.3f}s "
+          f"(skew {timings.skew:.2f}x)")
+    print(f"coordinator        : recv wait {timings.coordinator_recv_s:.3f}s, "
+          f"merge {timings.coordinator_merge_s:.3f}s, "
+          f"send {timings.coordinator_send_s:.3f}s")
 
 
 def _multi_worker_hep(args: argparse.Namespace, batch: int) -> int:
@@ -469,6 +486,18 @@ def _cmd_extsort(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect a ``--trace`` JSONL file written by a previous run.
+
+    ``trace summarize FILE`` aggregates the spans into a per-phase
+    time/memory/counter breakdown table (see docs/observability.md for
+    the format and the span taxonomy).
+    """
+    records = read_trace(args.file)
+    print(format_summary(records))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.id not in REGISTRY:
         print(f"unknown experiment {args.id!r}; available: {', '.join(REGISTRY)}")
@@ -524,6 +553,17 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace`` flags to a run subcommand."""
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="record a structured span trace (JSONL) of this "
+                        "run; inspect it with `repro trace summarize`")
+    p.add_argument("--trace-memory", choices=MEMORY_MODES, default=None,
+                   help="additionally probe per-span memory deltas "
+                        "(tracemalloc: allocation-exact, slower; "
+                        "rss: process RSS, cheap; requires --trace)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -576,6 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "processes (--out-of-core; bit-identical results; "
                         "0 = sequential, or the --workers count for the "
                         "multi-worker drivers)")
+    _add_trace_args(p)
     p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser(
@@ -597,6 +638,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
                    help="byte bound for the metrics cover; larger covers "
                         "fall back to column-blocked sweeps")
+    _add_trace_args(p)
     p.set_defaults(func=_cmd_scan)
 
     p = sub.add_parser("compare", help="run several partitioners side by side")
@@ -633,7 +675,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scan-workers", type=int, default=0, metavar="N",
                    help="run the counting pass (which keys the sort) on "
                         "N worker processes")
+    _add_trace_args(p)
     p.set_defaults(func=_cmd_extsort)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect a --trace JSONL file from a previous run",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p2 = trace_sub.add_parser(
+        "summarize",
+        help="per-phase time/memory/counter breakdown of a trace",
+    )
+    p2.add_argument("file", help="trace JSONL file written by --trace")
+    p2.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("id", help=f"one of: {', '.join(REGISTRY)}")
@@ -659,10 +714,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch; ``--trace`` wraps the whole run."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
     try:
-        return args.func(args)
+        if trace_path is None:
+            if getattr(args, "trace_memory", None) is not None:
+                raise ReproError("--trace-memory requires --trace")
+            return args.func(args)
+        with tracing(trace_path, memory=args.trace_memory) as tracer:
+            rc = args.func(args)
+            spans = tracer.num_spans
+        print(f"trace written      : {trace_path} ({spans} spans; "
+              f"`repro trace summarize {trace_path}`)")
+        return rc
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -35,3 +35,7 @@ class WorkerFailureError(PartitioningError):
 
 class ValidationError(ReproError, AssertionError):
     """A partitioning result violates a structural invariant."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A trace file or profile record is malformed or fails its schema."""

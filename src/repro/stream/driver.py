@@ -38,6 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError, PartitioningError
+from repro.obs.tracer import get_tracer
 from repro.partition.base import PartitionAssignment, capacity_bound
 from repro.partition.dbh import dbh_assign, repair_overflow
 from repro.partition.greedy import greedy_stream
@@ -359,31 +360,46 @@ class StreamingPartitionerDriver:
                 f"streaming driver requires k >= 2, got {k}"
             )
         start = time.perf_counter()
-        src: EdgeChunkSource = open_edge_source(
-            source, self.chunk_size, order=self.order, seed=self.seed,
-            mmap=self.mmap,
-        )
-        if self.prefetch > 0:
-            src = PrefetchingEdgeSource(src, depth=self.prefetch)
-        stats = scan_stats(
-            source, src, self.metrics_workers, self.chunk_size
-        )
-        if stats.num_edges == 0:
-            raise PartitioningError(
-                f"{self.algorithm.name}: edge stream is empty"
+        tracer = get_tracer()
+        with tracer.span(
+            "partition", algo=self.name, k=k, source=str(source)
+        ):
+            src: EdgeChunkSource = open_edge_source(
+                source, self.chunk_size, order=self.order, seed=self.seed,
+                mmap=self.mmap,
             )
-        capacity = capacity_bound(stats.num_edges, k, self.alpha)
-        algo = self.algorithm
-        algo.prepare(stats, k, capacity)
-        parts = np.full(stats.num_edges, -1, dtype=np.int32)
-        for _ in range(algo.passes):
-            for chunk in src:
-                algo.process(chunk.pairs, chunk.eids, parts)
-        parts = algo.finalize(parts, k, capacity)
-        rf, balance = scan_quality(
-            source, src, stats, k, parts, self.metrics_workers,
-            self.chunk_size,
-        )
+            if self.prefetch > 0:
+                src = PrefetchingEdgeSource(src, depth=self.prefetch)
+            stats = scan_stats(
+                source, src, self.metrics_workers, self.chunk_size
+            )
+            if stats.num_edges == 0:
+                raise PartitioningError(
+                    f"{self.algorithm.name}: edge stream is empty"
+                )
+            capacity = capacity_bound(stats.num_edges, k, self.alpha)
+            algo = self.algorithm
+            algo.prepare(stats, k, capacity)
+            parts = np.full(stats.num_edges, -1, dtype=np.int32)
+            for sweep in range(algo.passes):
+                with tracer.span(
+                    "stream_pass", algo=algo.name, sweep=sweep
+                ) as span:
+                    for chunk in src:
+                        algo.process(chunk.pairs, chunk.eids, parts)
+                        span.add("edges_scanned", chunk.num_edges)
+            with tracer.span("finalize", algo=algo.name):
+                parts = algo.finalize(parts, k, capacity)
+            rf, balance = scan_quality(
+                source, src, stats, k, parts, self.metrics_workers,
+                self.chunk_size,
+            )
+            source_stats = src.stats()
+            if tracer.enabled and source_stats:
+                tracer.event(
+                    "source_read", counters=source_stats,
+                    source=src.describe(),
+                )
         result = StreamedResult(
             algorithm=algo.name,
             parts=parts,

@@ -39,6 +39,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import ConfigurationError, GraphFormatError
+from repro.obs.tracer import get_tracer
 from repro.stream.parallel_scan import scan_stats
 from repro.stream.reader import DEFAULT_CHUNK_SIZE, open_edge_source
 from repro.stream.scan import SourceStats
@@ -313,56 +314,75 @@ def external_sort_edges(
             "external sort cannot write over its own input "
             f"({out_path}); choose a different output path"
         )
-    src = open_edge_source(source, chunk_size)
-    stats = scan_stats(source, src, scan_workers, chunk_size)
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    if stats.num_vertices > 2**32:
-        raise GraphFormatError(
-            "vertex ids exceed the uint32 binary edge-list format"
-        )
-    sink = _make_sink(out_path, stats, num_shards, compression)
-
-    try:
-        if order == "natural":
-            return _reencode_natural(
-                src, stats, sink, num_shards, compression
-            )
-
-        with tempfile.TemporaryDirectory(
-            prefix="extsort-", dir=tmp_dir
-        ) as run_dir_name:
-            run_dir = Path(run_dir_name)
-            runs: list[Path] = []
-            for chunk in src:
-                if chunk.num_edges == 0:
-                    continue
-                keys = _edge_keys(chunk.pairs, stats.degrees, order)
-                runs.append(
-                    _write_run(chunk.pairs, chunk.eids, keys, run_dir, len(runs))
-                )
-            run_bytes = sum(p.stat().st_size for p in runs)
-            num_runs = len(runs)
-            runs = _collapse_runs(runs, run_dir, merge_buffer, MAX_OPEN_RUNS)
-            merged = heapq.merge(*(_iter_run(p, merge_buffer) for p in runs))
-            written = 0
-            buf: list[tuple[int, int]] = []
-            for _key, _eid, u, v in merged:
-                buf.append((u, v))
-                if len(buf) >= chunk_size:
-                    sink.append(np.asarray(buf, dtype=np.int64))
-                    written += len(buf)
-                    buf = []
-            if buf:
-                sink.append(np.asarray(buf, dtype=np.int64))
-                written += len(buf)
-        if written != stats.num_edges:
+    tracer = get_tracer()
+    with tracer.span(
+        "extsort", order=order, source=str(source), out=str(out_path)
+    ):
+        src = open_edge_source(source, chunk_size)
+        stats = scan_stats(source, src, scan_workers, chunk_size)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        if stats.num_vertices > 2**32:
             raise GraphFormatError(
-                f"external sort wrote {written} of {stats.num_edges} edges"
+                "vertex ids exceed the uint32 binary edge-list format"
             )
-        final_path = sink.close()
-    except BaseException:
-        sink.abort()
-        raise
+        sink = _make_sink(out_path, stats, num_shards, compression)
+
+        try:
+            if order == "natural":
+                return _reencode_natural(
+                    src, stats, sink, num_shards, compression
+                )
+
+            with tempfile.TemporaryDirectory(
+                prefix="extsort-", dir=tmp_dir
+            ) as run_dir_name:
+                run_dir = Path(run_dir_name)
+                runs: list[Path] = []
+                with tracer.span("run_generation") as span:
+                    for chunk in src:
+                        if chunk.num_edges == 0:
+                            continue
+                        keys = _edge_keys(chunk.pairs, stats.degrees, order)
+                        runs.append(
+                            _write_run(
+                                chunk.pairs, chunk.eids, keys, run_dir,
+                                len(runs),
+                            )
+                        )
+                        span.add("edges_scanned", chunk.num_edges)
+                    run_bytes = sum(p.stat().st_size for p in runs)
+                    num_runs = len(runs)
+                    span.add("num_runs", num_runs)
+                    span.add("run_bytes", run_bytes)
+                with tracer.span("collapse_runs", max_open=MAX_OPEN_RUNS):
+                    runs = _collapse_runs(
+                        runs, run_dir, merge_buffer, MAX_OPEN_RUNS
+                    )
+                with tracer.span("merge_runs", runs=len(runs)) as span:
+                    merged = heapq.merge(
+                        *(_iter_run(p, merge_buffer) for p in runs)
+                    )
+                    written = 0
+                    buf: list[tuple[int, int]] = []
+                    for _key, _eid, u, v in merged:
+                        buf.append((u, v))
+                        if len(buf) >= chunk_size:
+                            sink.append(np.asarray(buf, dtype=np.int64))
+                            written += len(buf)
+                            buf = []
+                    if buf:
+                        sink.append(np.asarray(buf, dtype=np.int64))
+                        written += len(buf)
+                    span.add("edges_scanned", written)
+            if written != stats.num_edges:
+                raise GraphFormatError(
+                    f"external sort wrote {written} of {stats.num_edges} edges"
+                )
+            with tracer.span("finalize"):
+                final_path = sink.close()
+        except BaseException:
+            sink.abort()
+            raise
     return ExtSortResult(
         path=final_path,
         order=order,

@@ -42,11 +42,13 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import GraphFormatError, WorkerFailureError
+from repro.obs.tracer import get_tracer, install_collecting_tracer
 from repro.stream.reader import (
     BINARY_SUFFIXES,
     DEFAULT_CHUNK_SIZE,
@@ -67,6 +69,7 @@ from repro.stream.workers import (
     _claim_pipe,
     _iter_segment,
     _MSG_ERROR,
+    _MSG_TRACE,
     _pack_message,
     _unpack_message,
     BaseWorkerPool,
@@ -150,24 +153,45 @@ def effective_scan_workers(source, workers: int) -> int:
 
 
 def _counting_worker_main(
-    worker_id: int, pipes: list, segments, chunk_size: int
+    worker_id: int, pipes: list, segments, chunk_size: int,
+    trace: bool = False,
 ) -> None:
     """One counting worker: partial degrees + edge count over its segments."""
     conn = _claim_pipe(worker_id, pipes)
+    tracer = install_collecting_tracer(trace)
+    perf = time.perf_counter
     try:
-        degrees = np.zeros(0, dtype=np.int64)
-        num_edges = 0
-        for segment in segments:
-            path = Path(segment.path)
-            for pairs, _eids in _iter_segment(segment, chunk_size):
-                _validate_chunk(pairs, path)
-                num_edges += pairs.shape[0]
-                degrees = accumulate_degrees(degrees, pairs)
-        payload = (
-            np.array([num_edges], dtype="<i8").tobytes()
-            + np.ascontiguousarray(degrees, dtype="<i8").tobytes()
-        )
-        conn.send_bytes(_pack_message(_MSG_COUNTS, degrees.size, payload))
+        with tracer.span("worker_count", worker=worker_id) as span:
+            t0 = perf()
+            degrees = np.zeros(0, dtype=np.int64)
+            num_edges = 0
+            for segment in segments:
+                path = Path(segment.path)
+                for pairs, _eids in _iter_segment(segment, chunk_size):
+                    _validate_chunk(pairs, path)
+                    num_edges += pairs.shape[0]
+                    degrees = accumulate_degrees(degrees, pairs)
+            busy_s = perf() - t0
+            t0 = perf()
+            payload = (
+                np.array([num_edges], dtype="<i8").tobytes()
+                + np.ascontiguousarray(degrees, dtype="<i8").tobytes()
+            )
+            message = _pack_message(_MSG_COUNTS, degrees.size, payload)
+            encode_s = perf() - t0
+            t0 = perf()
+            conn.send_bytes(message)
+            send_s = perf() - t0
+            for name, value in (
+                ("busy_s", busy_s), ("encode_s", encode_s),
+                ("send_s", send_s), ("edges_scanned", num_edges),
+                ("frames_sent", 1), ("bytes_piped", len(message)),
+            ):
+                span.add(name, value)
+        if trace:
+            conn.send_bytes(
+                _pack_message(_MSG_TRACE, 0, pickle.dumps(tracer.drain()))
+            )
     except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
         try:
             conn.send_bytes(
@@ -190,20 +214,45 @@ def _cover_worker_main(
     k: int,
     parts: np.ndarray,
     blocks,
+    trace: bool = False,
 ) -> None:
     """One metrics worker: per-block packed covers over its segments."""
     conn = _claim_pipe(worker_id, pipes)
+    tracer = install_collecting_tracer(trace)
+    perf = time.perf_counter
     try:
-        parts = np.asarray(parts)
-        for index, (lo, hi) in enumerate(blocks):
-            cover = PackedCover(k, lo, hi)
-            for segment in segments:
-                path = Path(segment.path)
-                for pairs, eids in _iter_segment(segment, chunk_size):
-                    _validate_chunk(pairs, path)
-                    cover.mark_assignment(parts, pairs, eids)
+        with tracer.span("worker_cover", worker=worker_id) as span:
+            busy_s = encode_s = send_s = 0.0
+            edges = piped = 0
+            parts = np.asarray(parts)
+            for index, (lo, hi) in enumerate(blocks):
+                t0 = perf()
+                cover = PackedCover(k, lo, hi)
+                for segment in segments:
+                    path = Path(segment.path)
+                    for pairs, eids in _iter_segment(segment, chunk_size):
+                        _validate_chunk(pairs, path)
+                        cover.mark_assignment(parts, pairs, eids)
+                        edges += pairs.shape[0]
+                busy_s += perf() - t0
+                t0 = perf()
+                message = _pack_message(
+                    _MSG_COVER, index, cover.words.tobytes()
+                )
+                encode_s += perf() - t0
+                t0 = perf()
+                conn.send_bytes(message)
+                send_s += perf() - t0
+                piped += len(message)
+            for name, value in (
+                ("busy_s", busy_s), ("encode_s", encode_s),
+                ("send_s", send_s), ("edges_scanned", edges),
+                ("frames_sent", len(blocks)), ("bytes_piped", piped),
+            ):
+                span.add(name, value)
+        if trace:
             conn.send_bytes(
-                _pack_message(_MSG_COVER, index, cover.words.tobytes())
+                _pack_message(_MSG_TRACE, 0, pickle.dumps(tracer.drain()))
             )
     except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
         try:
@@ -318,7 +367,14 @@ def parallel_scan_source(
     with _CountingPool(
         segments, chunk_size, mp_context=mp_context, timeout=timeout
     ) as pool:
-        degrees, num_edges = pool.merge()
+        with get_tracer().span(
+            "pool_run", pool="count", workers=workers
+        ) as span:
+            degrees, num_edges = pool.merge()
+            pool.collect_worker_spans()
+            span.add("recv_wait_s", pool.recv_wait_s)
+            span.add("frames_sent", pool.frames_recv)
+            span.add("bytes_piped", pool.bytes_recv)
     if num_edges != planned_edges:
         raise GraphFormatError(
             f"{source}: parallel counting pass saw {num_edges} edges but "
@@ -357,8 +413,15 @@ def parallel_chunked_quality(
         segments, chunk_size, k, parts, blocks,
         mp_context=mp_context, timeout=timeout,
     ) as pool:
-        for index, (lo, hi) in enumerate(blocks):
-            replicas += pool.merge_block(index, lo, hi)
+        with get_tracer().span(
+            "pool_run", pool="cover", workers=workers, blocks=len(blocks)
+        ) as span:
+            for index, (lo, hi) in enumerate(blocks):
+                replicas += pool.merge_block(index, lo, hi)
+            pool.collect_worker_spans()
+            span.add("recv_wait_s", pool.recv_wait_s)
+            span.add("frames_sent", pool.frames_recv)
+            span.add("bytes_piped", pool.bytes_recv)
     covered = int((stats.degrees > 0).sum())
     rf = float(replicas / covered) if covered else 0.0
     balance = float(sizes.max() / (stats.num_edges / k))
@@ -383,12 +446,17 @@ def scan_stats(
     source already opened from it (used for the sequential fallback, so
     prefetch/mmap wrappers keep serving the sequential path).
     """
-    if effective_scan_workers(source, workers):
-        return parallel_scan_source(
-            source, workers, chunk_size, mp_context=mp_context,
-            timeout=timeout,
-        )
-    return scan_source(opened)
+    parallel = effective_scan_workers(source, workers)
+    with get_tracer().span("count_pass", workers=parallel) as span:
+        if parallel:
+            stats = parallel_scan_source(
+                source, workers, chunk_size, mp_context=mp_context,
+                timeout=timeout,
+            )
+        else:
+            stats = scan_source(opened)
+        span.add("edges_scanned", stats.num_edges)
+        return stats
 
 
 def scan_quality(
@@ -404,10 +472,15 @@ def scan_quality(
     timeout: float = DEFAULT_SCAN_TIMEOUT,
 ) -> tuple[float, float]:
     """Metrics pass, parallel when it can be: the drivers' front door."""
-    if effective_scan_workers(source, workers):
-        return parallel_chunked_quality(
-            source, stats, k, parts, workers, chunk_size,
-            memory_budget=memory_budget, mp_context=mp_context,
-            timeout=timeout,
-        )
-    return chunked_quality(opened, stats, k, parts, memory_budget)
+    parallel = effective_scan_workers(source, workers)
+    with get_tracer().span("metrics_pass", workers=parallel) as span:
+        if parallel:
+            quality = parallel_chunked_quality(
+                source, stats, k, parts, workers, chunk_size,
+                memory_budget=memory_budget, mp_context=mp_context,
+                timeout=timeout,
+            )
+        else:
+            quality = chunked_quality(opened, stats, k, parts, memory_budget)
+        span.add("edges_scanned", stats.num_edges)
+        return quality

@@ -47,6 +47,7 @@ from repro.core.ne_plus_plus import run_ne_plus_plus_on_csr
 from repro.core.tau import DEFAULT_TAU_GRID, select_from_footprints
 from repro.errors import ConfigurationError, PartitioningError
 from repro.graph.csr import CsrGraph
+from repro.obs.tracer import get_tracer
 from repro.partition.base import PartitionAssignment
 from repro.partition.state import StreamingState
 from repro.stream.buffered import stream_chunks_through_hdrf
@@ -192,60 +193,84 @@ class OutOfCoreHep:
         # subclasses OutOfCoreHep), so a top-level import would cycle.
         from repro.stream.parallel_scan import scan_quality, scan_stats
 
+        tracer = get_tracer()
         start = time.perf_counter()
-        src = open_edge_source(
-            source, self.chunk_size, order=self.order, seed=self.seed,
-            mmap=self.mmap,
-        )
-        if self.prefetch > 0:
-            src = PrefetchingEdgeSource(src, depth=self.prefetch)
-        # MultiWorkerHep carries a start-method choice for its BSP pool;
-        # the scan pools must honor the same one (fork-unsafe hosts).
-        mp_context = getattr(self, "mp_context", None)
-        stats = scan_stats(
-            source, src, self.metrics_workers, self.chunk_size,
-            mp_context=mp_context,
-        )
-        if stats.num_edges == 0:
-            raise PartitioningError("out-of-core HEP: edge stream is empty")
-
-        projected: int | None = None
-        if self.tau is not None:
-            tau = self.tau
-        elif self.memory_budget is not None:
-            tau, projected = self._select_tau(src, stats, k)
-        else:
-            tau = 10.0
-
-        threshold = tau * stats.mean_degree
-        high = stats.degrees > threshold
-
-        with SpillFile(
-            dir=self.spill_dir, compression=self.spill_compression
-        ) as spill:
-            csr = self._split_and_build(src, stats, high, spill)
-            phase_one = run_ne_plus_plus_on_csr(csr, k, tau=tau)
-            parts = phase_one.parts
-            loads = phase_one.loads.copy()
-            if len(spill):
-                loads = self._stream_spill(
-                    spill, stats, k, phase_one, parts
+        with tracer.span(
+            "partition", algo=self.name, k=k, source=str(source),
+        ):
+            src = open_edge_source(
+                source, self.chunk_size, order=self.order, seed=self.seed,
+                mmap=self.mmap,
+            )
+            if self.prefetch > 0:
+                src = PrefetchingEdgeSource(src, depth=self.prefetch)
+            # MultiWorkerHep carries a start-method choice for its BSP pool;
+            # the scan pools must honor the same one (fork-unsafe hosts).
+            mp_context = getattr(self, "mp_context", None)
+            stats = scan_stats(
+                source, src, self.metrics_workers, self.chunk_size,
+                mp_context=mp_context,
+            )
+            if stats.num_edges == 0:
+                raise PartitioningError(
+                    "out-of-core HEP: edge stream is empty"
                 )
-            spill_bytes = spill.nbytes
-            num_h2h = len(spill)
 
-        breakdown = HepPhaseBreakdown(
-            num_edges=stats.num_edges,
-            num_h2h_edges=num_h2h,
-            num_inmemory_edges=stats.num_edges - num_h2h,
-            cleanup_removed_fraction=phase_one.stats.cleanup_removed_fraction,
-            spilled_edges=phase_one.stats.spilled_edges,
-        )
-        rf, balance = scan_quality(
-            source, src, stats, k, parts, self.metrics_workers,
-            self.chunk_size, memory_budget=self.memory_budget,
-            mp_context=mp_context,
-        )
+            projected: int | None = None
+            if self.tau is not None:
+                tau = self.tau
+            elif self.memory_budget is not None:
+                with tracer.span("select_tau", budget=self.memory_budget):
+                    tau, projected = self._select_tau(src, stats, k)
+            else:
+                tau = 10.0
+
+            threshold = tau * stats.mean_degree
+            high = stats.degrees > threshold
+
+            with SpillFile(
+                dir=self.spill_dir, compression=self.spill_compression
+            ) as spill:
+                with tracer.span("split_pass", tau=tau) as span:
+                    csr = self._split_and_build(src, stats, high, spill)
+                    span.add("edges_scanned", stats.num_edges)
+                    span.add("spill_bytes", spill.nbytes)
+                with tracer.span("phase_one", k=k):
+                    phase_one = run_ne_plus_plus_on_csr(csr, k, tau=tau)
+                parts = phase_one.parts
+                loads = phase_one.loads.copy()
+                if len(spill):
+                    with tracer.span(
+                        "stream_pass", phase="spill"
+                    ) as span:
+                        loads = self._stream_spill(
+                            spill, stats, k, phase_one, parts
+                        )
+                        span.add("edges_scanned", len(spill))
+                        span.add("spill_bytes", spill.nbytes)
+                spill_bytes = spill.nbytes
+                num_h2h = len(spill)
+
+            breakdown = HepPhaseBreakdown(
+                num_edges=stats.num_edges,
+                num_h2h_edges=num_h2h,
+                num_inmemory_edges=stats.num_edges - num_h2h,
+                cleanup_removed_fraction=(
+                    phase_one.stats.cleanup_removed_fraction
+                ),
+                spilled_edges=phase_one.stats.spilled_edges,
+            )
+            rf, balance = scan_quality(
+                source, src, stats, k, parts, self.metrics_workers,
+                self.chunk_size, memory_budget=self.memory_budget,
+                mp_context=mp_context,
+            )
+            source_stats = src.stats()
+            if tracer.enabled and source_stats:
+                tracer.event(
+                    "source_read", counters=source_stats,
+                    source=src.describe(),
+                )
         result = OutOfCoreResult(
             parts=parts,
             k=k,

@@ -30,6 +30,7 @@ import abc
 import os
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -106,6 +107,19 @@ class EdgeChunkSource(abc.ABC):
     def describe(self) -> str:
         """Human-readable one-line description of the source."""
         return type(self).__name__
+
+    def stats(self) -> dict[str, float] | None:
+        """Cumulative read counters, or ``None`` when the source keeps none.
+
+        Sources with background reader machinery
+        (:class:`PrefetchingEdgeSource`,
+        :class:`~repro.stream.shard.ShardedEdgeSource`) return a dict of
+        numeric counters — chunks/edges/bytes served and ``stall_s``,
+        the consumer-side seconds spent waiting on reader threads —
+        which drivers fold into trace output as a ``source_read`` event.
+        Counters accumulate across iterations until ``close()``.
+        """
+        return None
 
     def close(self) -> None:
         """Release any live resources (threads, handles, maps).
@@ -357,6 +371,10 @@ class PrefetchingEdgeSource(EdgeChunkSource):
         self.depth = int(depth)
         self.chunk_size = inner.chunk_size
         self._live: list[tuple[threading.Event, queue.Queue, threading.Thread]] = []
+        self._chunks_served = 0
+        self._edges_served = 0
+        self._bytes_served = 0
+        self._stall_s = 0.0
 
     @staticmethod
     def _shut_down(
@@ -403,20 +421,27 @@ class PrefetchingEdgeSource(EdgeChunkSource):
         worker.start()
         try:
             while True:
-                try:
-                    item = chunks.get(timeout=0.05)
-                except queue.Empty:
-                    # Poll so an external close() surfaces instead of
-                    # blocking on a queue no reader feeds anymore.
-                    if stop.is_set():
-                        raise ValueError(
-                            f"{self.describe()}: closed during iteration"
-                        ) from None
-                    continue
+                stall_start = time.perf_counter()
+                while True:
+                    try:
+                        item = chunks.get(timeout=0.05)
+                        break
+                    except queue.Empty:
+                        # Poll so an external close() surfaces instead of
+                        # blocking on a queue no reader feeds anymore.
+                        if stop.is_set():
+                            raise ValueError(
+                                f"{self.describe()}: closed during iteration"
+                            ) from None
+                        continue
+                self._stall_s += time.perf_counter() - stall_start
                 if item is _STREAM_END:
                     return
                 if isinstance(item, _PrefetchError):
                     raise item.exc
+                self._chunks_served += 1
+                self._edges_served += item.num_edges
+                self._bytes_served += item.pairs.nbytes + item.eids.nbytes
                 yield item
         finally:
             self._shut_down(*live)
@@ -456,6 +481,20 @@ class PrefetchingEdgeSource(EdgeChunkSource):
     def describe(self) -> str:
         """Human-readable description including the prefetch depth."""
         return f"{self.inner.describe()} [prefetch x{self.depth}]"
+
+    def stats(self) -> dict[str, float]:
+        """Chunks/edges/bytes served and consumer stall seconds.
+
+        ``stall_s`` is the time the consumer spent blocked on the
+        prefetch queue — near zero when the reader thread keeps ahead,
+        approaching the read time of the inner source when it cannot.
+        """
+        return {
+            "chunks": self._chunks_served,
+            "edges": self._edges_served,
+            "bytes": self._bytes_served,
+            "stall_s": self._stall_s,
+        }
 
 
 def _validate_chunk(pairs: np.ndarray, path: Path) -> None:

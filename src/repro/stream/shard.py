@@ -33,6 +33,7 @@ import json
 import os
 import queue
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -621,6 +622,10 @@ class ShardedEdgeSource(EdgeChunkSource):
         self.read_ahead = int(read_ahead)
         self.max_workers = int(max_workers)
         self._live: list[_LiveIteration] = []
+        self._chunks_served = 0
+        self._edges_served = 0
+        self._bytes_served = 0
+        self._stall_s = 0.0
 
     # -- shard decoding (worker side) --------------------------------------
 
@@ -687,14 +692,18 @@ class ShardedEdgeSource(EdgeChunkSource):
         def _get(q: queue.Queue):
             # Poll so an external close() (stop set from another frame)
             # surfaces instead of blocking on a queue no reader feeds.
+            stall_start = time.perf_counter()
             while True:
                 try:
-                    return q.get(timeout=0.05)
+                    item = q.get(timeout=0.05)
                 except queue.Empty:
                     if live.stop.is_set():
                         raise ValueError(
                             f"{self.describe()}: closed during iteration"
                         ) from None
+                    continue
+                self._stall_s += time.perf_counter() - stall_start
+                return item
 
         buffers: list[np.ndarray] = []
         buffered = 0
@@ -718,6 +727,9 @@ class ShardedEdgeSource(EdgeChunkSource):
             pairs = taken[0] if len(taken) == 1 else np.vstack(taken)
             eids = np.arange(next_eid, next_eid + count, dtype=np.int64)
             next_eid += count
+            self._chunks_served += 1
+            self._edges_served += count
+            self._bytes_served += pairs.nbytes + eids.nbytes
             return EdgeChunk(pairs=pairs, eids=eids)
 
         try:
@@ -783,6 +795,20 @@ class ShardedEdgeSource(EdgeChunkSource):
             f"({self.manifest.num_shards} shards, {codec}, "
             f"<= {self.max_workers} readers)"
         )
+
+    def stats(self) -> dict[str, float]:
+        """Chunks/edges/bytes served and consumer stall seconds.
+
+        ``stall_s`` measures how long the consumer sat on the per-shard
+        reorder queues — the visible cost of reader threads not keeping
+        ahead of the stream.
+        """
+        return {
+            "chunks": self._chunks_served,
+            "edges": self._edges_served,
+            "bytes": self._bytes_served,
+            "stall_s": self._stall_s,
+        }
 
 
 class MmapEdgeSource(EdgeChunkSource):

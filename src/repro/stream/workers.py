@@ -66,6 +66,7 @@ from repro.errors import (
     PartitioningError,
     WorkerFailureError,
 )
+from repro.obs.tracer import get_tracer, install_collecting_tracer
 from repro.parallel.kernel import (
     apply_batch,
     apply_delta,
@@ -105,6 +106,7 @@ __all__ = [
     "MultiWorkerResult",
     "MultiWorkerStreamingDriver",
     "MultiWorkerHep",
+    "WorkerTimings",
     "plan_worker_segments",
     "split_spill_round_robin",
     "DEFAULT_WORKER_BATCH",
@@ -123,9 +125,14 @@ _TRIPLE = np.dtype("<i8")
 # message tags (one byte, prepended to the spill-style frame)
 _MSG_BATCH = b"B"   # worker -> coord: triples + chosen partitions (fast path)
 _MSG_SCORES = b"S"  # worker -> coord: triples + score matrix (near capacity)
-_MSG_DONE = b"D"    # worker -> coord: stream exhausted, worker exiting
+_MSG_DONE = b"D"    # worker -> coord: stream exhausted (+ busy/wait/send f64s)
 _MSG_ERROR = b"E"   # worker -> coord: pickled (type name, message)
 _MSG_DELTA = b"M"   # coord -> worker: merged (u, v, p) triples
+_MSG_TRACE = b"T"   # worker -> coord: pickled trace records (final message)
+
+#: layout of the timing payload a worker attaches to its DONE message
+_DONE_TIMINGS = np.dtype("<f8")
+_DONE_TIMING_FIELDS = 3  # busy_s, wait_s, send_s
 
 
 @dataclass(frozen=True)
@@ -317,6 +324,7 @@ def _worker_main(
     lam: float,
     eps: float,
     chunk_size: int,
+    trace: bool = False,
 ) -> None:
     """Entry point of one worker process (module-level for spawnability).
 
@@ -326,8 +334,18 @@ def _worker_main(
     is shipped to the coordinator as an ``ERROR`` message before a clean
     exit — the coordinator turns it into one
     :class:`~repro.errors.WorkerFailureError`.
+
+    The worker always times itself (busy vs. barrier-wait vs. pipe-send
+    seconds ride on the DONE payload so skew is visible without
+    tracing); with ``trace`` it additionally records a ``worker_stream``
+    span and ships its drained trace records as a final
+    :data:`_MSG_TRACE` message for the coordinator to adopt.
     """
     conn = _claim_pipe(worker_id, pipes)
+    tracer = install_collecting_tracer(trace)
+    perf = time.perf_counter
+    read_s = score_s = encode_s = send_s = wait_s = apply_s = 0.0
+    edges = frames = piped = 0
     try:
         if init_replicas is None:
             replicas = np.zeros((k, num_vertices), dtype=bool)
@@ -339,37 +357,68 @@ def _worker_main(
             loads = np.asarray(init_loads, dtype=np.int64).copy()
         degrees = np.asarray(degrees, dtype=np.int64)
 
-        for us, vs, eids in _iter_batches(segments, batch, chunk_size):
-            safe = superstep_is_safe(loads, workers, batch, capacity)
-            scores = score_batch_on_snapshot(
-                replicas, loads, degrees, us, vs, lam, eps
-            )
-            triples = _pack_triples(eids, us, vs)
-            if safe:
-                ps = np.argmax(scores, axis=1)
-                conn.send_bytes(
-                    _pack_message(
+        with tracer.span("worker_stream", worker=worker_id) as span:
+            batches = _iter_batches(segments, batch, chunk_size)
+            while True:
+                t0 = perf()
+                step = next(batches, None)
+                read_s += perf() - t0
+                if step is None:
+                    break
+                us, vs, eids = step
+                t0 = perf()
+                safe = superstep_is_safe(loads, workers, batch, capacity)
+                scores = score_batch_on_snapshot(
+                    replicas, loads, degrees, us, vs, lam, eps
+                )
+                score_s += perf() - t0
+                t0 = perf()
+                triples = _pack_triples(eids, us, vs)
+                if safe:
+                    ps = np.argmax(scores, axis=1)
+                    message = _pack_message(
                         _MSG_BATCH, us.shape[0], triples,
                         ps.astype(_TRIPLE).tobytes(),
                     )
-                )
-            else:
-                conn.send_bytes(
-                    _pack_message(
+                else:
+                    message = _pack_message(
                         _MSG_SCORES, us.shape[0], triples,
-                        np.ascontiguousarray(
-                            scores, dtype="<f8"
-                        ).tobytes(),
+                        np.ascontiguousarray(scores, dtype="<f8").tobytes(),
                     )
-                )
-            tag, count, payload = _unpack_message(conn.recv_bytes())
-            if tag != _MSG_DELTA:
-                raise WorkerFailureError(
-                    f"worker {worker_id}: expected a delta, got {tag!r}"
-                )
-            dus, dvs, dps = _unpack_triples(payload, count)
-            apply_delta(replicas, loads, dus, dvs, dps)
-        conn.send_bytes(_pack_message(_MSG_DONE, 0))
+                encode_s += perf() - t0
+                t0 = perf()
+                conn.send_bytes(message)
+                send_s += perf() - t0
+                t0 = perf()
+                blob = conn.recv_bytes()
+                wait_s += perf() - t0
+                t0 = perf()
+                tag, count, payload = _unpack_message(blob)
+                if tag != _MSG_DELTA:
+                    raise WorkerFailureError(
+                        f"worker {worker_id}: expected a delta, got {tag!r}"
+                    )
+                dus, dvs, dps = _unpack_triples(payload, count)
+                apply_delta(replicas, loads, dus, dvs, dps)
+                apply_s += perf() - t0
+                edges += us.shape[0]
+                frames += 1
+                piped += len(message) + len(blob)
+            busy_s = read_s + score_s + apply_s
+            for name, value in (
+                ("busy_s", busy_s), ("read_s", read_s),
+                ("score_s", score_s), ("apply_s", apply_s),
+                ("encode_s", encode_s), ("send_s", send_s),
+                ("wait_s", wait_s), ("edges_scanned", edges),
+                ("frames_sent", frames), ("bytes_piped", piped),
+            ):
+                span.add(name, value)
+        timings = np.array([busy_s, wait_s, send_s], dtype=_DONE_TIMINGS)
+        conn.send_bytes(_pack_message(_MSG_DONE, 0, timings.tobytes()))
+        if trace:
+            conn.send_bytes(
+                _pack_message(_MSG_TRACE, 0, pickle.dumps(tracer.drain()))
+            )
     except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
         try:
             conn.send_bytes(
@@ -388,6 +437,41 @@ def _worker_main(
 
 
 @dataclass(frozen=True)
+class WorkerTimings:
+    """Where one BSP run's seconds went, per worker and on the coordinator.
+
+    Workers always self-time (no ``--trace`` needed): ``busy_s`` is
+    scoring + reading + delta-apply, ``wait_s`` is barrier time blocked
+    on the coordinator's delta, ``send_s`` is pipe-send time.  The
+    coordinator contributes its own split: time blocked waiting on
+    worker frames, merge/commit time, and delta broadcast time.
+    """
+
+    busy_s: tuple[float, ...]
+    wait_s: tuple[float, ...]
+    send_s: tuple[float, ...]
+    coordinator_recv_s: float
+    coordinator_merge_s: float
+    coordinator_send_s: float
+
+    @property
+    def max_busy_s(self) -> float:
+        """Busy seconds of the slowest worker (the critical path)."""
+        return max(self.busy_s, default=0.0)
+
+    @property
+    def mean_busy_s(self) -> float:
+        """Mean busy seconds across workers."""
+        return sum(self.busy_s) / len(self.busy_s) if self.busy_s else 0.0
+
+    @property
+    def skew(self) -> float:
+        """Slowest worker over mean busy time (1.0 = perfectly even)."""
+        mean = self.mean_busy_s
+        return self.max_busy_s / mean if mean > 0 else 1.0
+
+
+@dataclass(frozen=True)
 class MultiWorkerReport:
     """What one multi-process BSP run did (the schedule's shape)."""
 
@@ -397,6 +481,7 @@ class MultiWorkerReport:
     edges_streamed: int
     fast_supersteps: int
     slow_supersteps: int
+    timings: WorkerTimings | None = None
 
     @property
     def modeled_speedup(self) -> float:
@@ -517,6 +602,12 @@ class BaseWorkerPool:
         self.timeout = float(timeout)
         self._procs: list = []
         self._conns: list = []
+        # Always-on receive accounting (coordinator-side): seconds spent
+        # blocked on worker frames, and frames/bytes drained.
+        self.recv_wait_s = 0.0
+        self.frames_recv = 0
+        self.bytes_recv = 0
+        self._trace_workers = False
 
     def _spawn_args(self, worker_id: int) -> tuple:
         """Extra positional args for ``_worker_target`` after the segments."""
@@ -525,35 +616,48 @@ class BaseWorkerPool:
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
-        """Fork the workers; each gets its segments and the spawn args."""
+        """Fork the workers; each gets its segments and the spawn args.
+
+        When the process-global tracer is live the spawn is wrapped in a
+        ``pool_spawn`` span and every worker gets a trailing trace flag,
+        telling it to collect spans and ship them back as its final
+        message (see :meth:`collect_worker_spans`).
+        """
         if self._procs:
             raise ConfigurationError(
                 f"{type(self).__name__} already started"
             )
+        tracer = get_tracer()
+        self._trace_workers = bool(tracer.enabled)
         ctx = multiprocessing.get_context(self.mp_context)
-        pipes = [ctx.Pipe(duplex=True) for _ in range(self.workers)]
-        try:
-            for w in range(self.workers):
-                proc = ctx.Process(
-                    target=type(self)._worker_target,
-                    args=(
-                        w,
-                        pipes,
-                        self.worker_segments[w],
-                        *self._spawn_args(w),
-                    ),
-                    name=f"repro-worker-{w}",
-                    daemon=True,
-                )
-                proc.start()
-                self._procs.append(proc)
-        except BaseException:
-            # A failed spawn must not leak the processes already forked.
-            self.close()
-            raise
-        for parent_end, child_end in pipes:
-            child_end.close()
-            self._conns.append(parent_end)
+        with tracer.span(
+            "pool_spawn", workers=self.workers, pool=type(self).__name__,
+            mp_context=self.mp_context,
+        ):
+            pipes = [ctx.Pipe(duplex=True) for _ in range(self.workers)]
+            try:
+                for w in range(self.workers):
+                    proc = ctx.Process(
+                        target=type(self)._worker_target,
+                        args=(
+                            w,
+                            pipes,
+                            self.worker_segments[w],
+                            *self._spawn_args(w),
+                            self._trace_workers,
+                        ),
+                        name=f"repro-worker-{w}",
+                        daemon=True,
+                    )
+                    proc.start()
+                    self._procs.append(proc)
+            except BaseException:
+                # A failed spawn must not leak processes already forked.
+                self.close()
+                raise
+            for parent_end, child_end in pipes:
+                child_end.close()
+                self._conns.append(parent_end)
 
     @property
     def pids(self) -> list[int]:
@@ -604,21 +708,26 @@ class BaseWorkerPool:
         )
 
     def _recv(self, w: int) -> bytes:
-        """Receive one message from worker ``w``, watching its liveness."""
+        """Receive one message from worker ``w``, watching its liveness.
+
+        Accounts the blocked time and drained frames/bytes into
+        :attr:`recv_wait_s` / :attr:`frames_recv` / :attr:`bytes_recv`.
+        """
         conn = self._conns[w]
         proc = self._procs[w]
+        started = time.perf_counter()
         deadline = time.monotonic() + self.timeout
         while True:
             try:
                 if conn.poll(0.05):
-                    return conn.recv_bytes()
+                    return self._account_recv(conn.recv_bytes(), started)
             except (EOFError, OSError):
                 raise self._worker_died(w) from None
             if not proc.is_alive():
                 # Drain a final message that raced with the exit.
                 try:
                     if conn.poll(0.25):
-                        return conn.recv_bytes()
+                        return self._account_recv(conn.recv_bytes(), started)
                 except (EOFError, OSError):
                     pass
                 raise self._worker_died(w)
@@ -627,6 +736,36 @@ class BaseWorkerPool:
                     f"{self._describe_worker(w)} sent nothing for "
                     f"{self.timeout:.0f}s; presumed hung"
                 )
+
+    def _account_recv(self, blob: bytes, started: float) -> bytes:
+        """Fold one received frame into the receive counters."""
+        self.recv_wait_s += time.perf_counter() - started
+        self.frames_recv += 1
+        self.bytes_recv += len(blob)
+        return blob
+
+    def collect_worker_spans(self, **attrs) -> None:
+        """Adopt each worker's trace records (its final pipe message).
+
+        No-op unless :meth:`start` armed tracing.  Workers send their
+        drained span records as one :data:`_MSG_TRACE` message *after*
+        their last protocol message, so this must run after the pool's
+        protocol has fully completed.  Adopted roots are re-parented
+        under the caller's current span and tagged with ``attrs``.
+        """
+        if not self._trace_workers:
+            return
+        tracer = get_tracer()
+        for w in range(self.workers):
+            tag, _, payload = _unpack_message(self._recv(w))
+            if tag == _MSG_ERROR:
+                self._raise_worker_error(w, payload)
+            if tag != _MSG_TRACE:
+                raise WorkerFailureError(
+                    f"{self._describe_worker(w)} sent {tag!r} where its "
+                    f"trace records were expected"
+                )
+            tracer.adopt(pickle.loads(bytes(payload)), worker=w, **attrs)
 
     def _raise_worker_error(self, w: int, payload: memoryview) -> None:
         try:
@@ -713,53 +852,104 @@ class WorkerPool(BaseWorkerPool):
         """
         if not self._procs:
             raise ConfigurationError("WorkerPool.run() before start()")
+        perf = time.perf_counter
         service = StateService(self.state, parts, self.workers, self.batch)
         active = list(range(self.workers))
         supersteps = 0
         fast = 0
         slow = 0
-        while active:
-            safe = service.begin_superstep()
-            messages = []
-            for w in active:
-                tag, count, payload = _unpack_message(self._recv(w))
-                messages.append((w, tag, count, payload))
-            delta_us: list[np.ndarray] = []
-            delta_vs: list[np.ndarray] = []
-            delta_ps: list[np.ndarray] = []
-            senders: list[int] = []
-            for w, tag, count, payload in messages:
-                if tag == _MSG_DONE:
-                    active.remove(w)
+        merge_s = encode_s = send_s = 0.0
+        frames_sent = 0
+        bytes_sent = 0
+        worker_timings: dict[int, tuple[float, float, float]] = {}
+        with get_tracer().span(
+            "pool_run", pool="bsp", workers=self.workers, batch=self.batch,
+        ) as span:
+            while active:
+                safe = service.begin_superstep()
+                messages = []
+                for w in active:
+                    tag, count, payload = _unpack_message(self._recv(w))
+                    messages.append((w, tag, count, payload))
+                delta_us: list[np.ndarray] = []
+                delta_vs: list[np.ndarray] = []
+                delta_ps: list[np.ndarray] = []
+                senders: list[int] = []
+                for w, tag, count, payload in messages:
+                    if tag == _MSG_DONE:
+                        active.remove(w)
+                        expected = _DONE_TIMING_FIELDS * _DONE_TIMINGS.itemsize
+                        if len(payload) >= expected:
+                            busy, wait, send = np.frombuffer(
+                                payload, dtype=_DONE_TIMINGS,
+                                count=_DONE_TIMING_FIELDS,
+                            )
+                            worker_timings[w] = (
+                                float(busy), float(wait), float(send)
+                            )
+                        continue
+                    if tag == _MSG_ERROR:
+                        self._raise_worker_error(w, payload)
+                    t0 = perf()
+                    us, vs, ps = service.merge(w, tag, count, payload, safe)
+                    merge_s += perf() - t0
+                    delta_us.append(us)
+                    delta_vs.append(vs)
+                    delta_ps.append(ps)
+                    senders.append(w)
+                if not senders:
                     continue
-                if tag == _MSG_ERROR:
-                    self._raise_worker_error(w, payload)
-                us, vs, ps = service.merge(w, tag, count, payload, safe)
-                delta_us.append(us)
-                delta_vs.append(vs)
-                delta_ps.append(ps)
-                senders.append(w)
-            if not senders:
-                continue
-            supersteps += 1
-            if safe:
-                fast += 1
-            else:
-                slow += 1
-            delta = _pack_message(
-                _MSG_DELTA,
-                sum(u.shape[0] for u in delta_us),
-                _pack_triples(
-                    np.concatenate(delta_us),
-                    np.concatenate(delta_vs),
-                    np.concatenate(delta_ps),
-                ),
-            )
-            for w in senders:
-                try:
-                    self._conns[w].send_bytes(delta)
-                except (BrokenPipeError, OSError):
-                    raise self._worker_died(w) from None
+                supersteps += 1
+                if safe:
+                    fast += 1
+                else:
+                    slow += 1
+                t0 = perf()
+                delta = _pack_message(
+                    _MSG_DELTA,
+                    sum(u.shape[0] for u in delta_us),
+                    _pack_triples(
+                        np.concatenate(delta_us),
+                        np.concatenate(delta_vs),
+                        np.concatenate(delta_ps),
+                    ),
+                )
+                encode_s += perf() - t0
+                t0 = perf()
+                for w in senders:
+                    try:
+                        self._conns[w].send_bytes(delta)
+                    except (BrokenPipeError, OSError):
+                        raise self._worker_died(w) from None
+                send_s += perf() - t0
+                frames_sent += len(senders)
+                bytes_sent += len(delta) * len(senders)
+            self.collect_worker_spans()
+            for name, value in (
+                ("recv_wait_s", self.recv_wait_s), ("merge_s", merge_s),
+                ("encode_s", encode_s), ("send_s", send_s),
+                ("supersteps", supersteps),
+                ("frames_sent", self.frames_recv + frames_sent),
+                ("bytes_piped", self.bytes_recv + bytes_sent),
+            ):
+                span.add(name, value)
+        timings = WorkerTimings(
+            busy_s=tuple(
+                worker_timings.get(w, (0.0, 0.0, 0.0))[0]
+                for w in range(self.workers)
+            ),
+            wait_s=tuple(
+                worker_timings.get(w, (0.0, 0.0, 0.0))[1]
+                for w in range(self.workers)
+            ),
+            send_s=tuple(
+                worker_timings.get(w, (0.0, 0.0, 0.0))[2]
+                for w in range(self.workers)
+            ),
+            coordinator_recv_s=self.recv_wait_s,
+            coordinator_merge_s=merge_s,
+            coordinator_send_s=send_s,
+        )
         return MultiWorkerReport(
             workers=self.workers,
             batch=self.batch,
@@ -767,6 +957,7 @@ class WorkerPool(BaseWorkerPool):
             edges_streamed=service.edges_streamed,
             fast_supersteps=fast,
             slow_supersteps=slow,
+            timings=timings,
         )
 
 
@@ -984,41 +1175,54 @@ class MultiWorkerStreamingDriver:
         # Deferred: parallel_scan imports this module's pool machinery.
         from repro.stream.parallel_scan import scan_quality, scan_stats
 
+        tracer = get_tracer()
         start = time.perf_counter()
-        segments, _, num_edges, _ = plan_worker_segments(
-            source, self.workers
-        )
-        if num_edges == 0:
-            raise PartitioningError("multi-worker HDRF: edge stream is empty")
-        src = open_edge_source(source, self.chunk_size)
-        if self.prefetch > 0:
-            src = PrefetchingEdgeSource(src, depth=self.prefetch)
-        # No timeout forwarding: self.timeout is the BSP per-superstep
-        # watchdog; the scan pools' whole-sweep default applies instead.
-        stats = scan_stats(
-            source, src, self.metrics_workers, self.chunk_size,
-            mp_context=self.mp_context,
-        )
-        capacity = capacity_bound(stats.num_edges, k, self.alpha)
-        state = StreamingState(
-            stats.num_vertices, k, capacity, exact_degrees=stats.degrees
-        )
-        parts = np.full(stats.num_edges, -1, dtype=np.int32)
-        with WorkerPool(
-            segments,
-            state,
-            batch=self.batch,
-            lam=self.lam,
-            eps=self.eps,
-            chunk_size=self.chunk_size,
-            mp_context=self.mp_context,
-            timeout=self.timeout,
-        ) as pool:
-            report = pool.run(parts)
-        rf, balance = scan_quality(
-            source, src, stats, k, parts, self.metrics_workers,
-            self.chunk_size, mp_context=self.mp_context,
-        )
+        with tracer.span(
+            "partition", algo=self.name, k=k, workers=self.workers,
+            source=str(source),
+        ):
+            segments, _, num_edges, _ = plan_worker_segments(
+                source, self.workers
+            )
+            if num_edges == 0:
+                raise PartitioningError(
+                    "multi-worker HDRF: edge stream is empty"
+                )
+            src = open_edge_source(source, self.chunk_size)
+            if self.prefetch > 0:
+                src = PrefetchingEdgeSource(src, depth=self.prefetch)
+            # No timeout forwarding: self.timeout is the BSP per-superstep
+            # watchdog; the scan pools' whole-sweep default applies instead.
+            stats = scan_stats(
+                source, src, self.metrics_workers, self.chunk_size,
+                mp_context=self.mp_context,
+            )
+            capacity = capacity_bound(stats.num_edges, k, self.alpha)
+            state = StreamingState(
+                stats.num_vertices, k, capacity, exact_degrees=stats.degrees
+            )
+            parts = np.full(stats.num_edges, -1, dtype=np.int32)
+            with WorkerPool(
+                segments,
+                state,
+                batch=self.batch,
+                lam=self.lam,
+                eps=self.eps,
+                chunk_size=self.chunk_size,
+                mp_context=self.mp_context,
+                timeout=self.timeout,
+            ) as pool:
+                report = pool.run(parts)
+            rf, balance = scan_quality(
+                source, src, stats, k, parts, self.metrics_workers,
+                self.chunk_size, mp_context=self.mp_context,
+            )
+            source_stats = src.stats()
+            if tracer.enabled and source_stats:
+                tracer.event(
+                    "source_read", counters=source_stats,
+                    source=src.describe(),
+                )
         result = MultiWorkerResult(
             algorithm=f"HDRF-mw{self.workers}",
             parts=parts,
@@ -1110,10 +1314,15 @@ class MultiWorkerHep(OutOfCoreHep):
         with tempfile.TemporaryDirectory(
             prefix="mw-h2h-", dir=self.spill_dir
         ) as tmp:
-            segments = split_spill_round_robin(
-                spill, self.workers, tmp, self.chunk_size,
-                compression=self.spill_compression,
-            )
+            with get_tracer().span(
+                "split_spill", workers=self.workers
+            ) as span:
+                segments = split_spill_round_robin(
+                    spill, self.workers, tmp, self.chunk_size,
+                    compression=self.spill_compression,
+                )
+                span.add("spill_bytes", spill.nbytes)
+                span.add("spill_records", len(spill))
             with WorkerPool(
                 segments,
                 state,

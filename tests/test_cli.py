@@ -651,3 +651,56 @@ class TestScanCommand:
         )
         assert rc == 0
         assert (tmp_path / "sorted.bin").stat().st_size == path.stat().st_size
+
+
+class TestTraceFlags:
+    def test_partition_trace_then_summarize(
+        self, small_graph_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "run.trace.jsonl"
+        parts_a = tmp_path / "a.txt"
+        parts_b = tmp_path / "b.txt"
+        rc = main(["partition", str(small_graph_file), "--k", "2",
+                   "--out-of-core", "--output", str(parts_a),
+                   "--trace", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out
+        assert trace.exists()
+
+        rc = main(["trace", "summarize", str(trace)])
+        assert rc == 0
+        summary = capsys.readouterr().out
+        assert "phase attribution" in summary
+        assert "partition" in summary
+
+        # Tracing never changes the assignment.
+        rc = main(["partition", str(small_graph_file), "--k", "2",
+                   "--out-of-core", "--output", str(parts_b)])
+        assert rc == 0
+        capsys.readouterr()
+        np.testing.assert_array_equal(
+            np.loadtxt(parts_a, dtype=np.int64),
+            np.loadtxt(parts_b, dtype=np.int64),
+        )
+
+    def test_scan_trace_with_memory_probe(
+        self, small_graph_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "scan.trace.jsonl"
+        rc = main(["scan", str(small_graph_file),
+                   "--trace", str(trace), "--trace-memory", "rss"])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        assert "mem_delta" in capsys.readouterr().out
+
+    def test_trace_memory_requires_trace(self, small_graph_file, capsys):
+        rc = main(["scan", str(small_graph_file), "--trace-memory", "rss"])
+        assert rc == 1
+        assert "--trace-memory requires --trace" in capsys.readouterr().err
+
+    def test_summarize_rejects_non_trace_file(self, small_graph_file, capsys):
+        rc = main(["trace", "summarize", str(small_graph_file)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

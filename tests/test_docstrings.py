@@ -1,7 +1,7 @@
 """Docstring lint for the documented public API.
 
 The ``repro.stream``, ``repro.partition``, ``repro.graph``, ``repro.
-core``, ``repro.parallel`` and ``repro.metrics`` packages are the
+core``, ``repro.parallel``, ``repro.metrics`` and ``repro.obs`` packages are the
 repo's documented surface (see docs/): every module and every public
 class, function, method and property there must carry a docstring.  CI additionally runs
 ``ruff check`` with the pydocstyle ``D1`` rules over the same paths
@@ -20,7 +20,9 @@ import pytest
 import repro
 
 _SRC = Path(repro.__file__).resolve().parent
-_LINTED_PACKAGES = ("stream", "partition", "graph", "core", "parallel", "metrics")
+_LINTED_PACKAGES = (
+    "stream", "partition", "graph", "core", "parallel", "metrics", "obs",
+)
 
 
 def _linted_files():

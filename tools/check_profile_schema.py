@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""CI gate: validate ``results/BENCH_profile.json``'s structure.
+
+Runs :func:`repro.obs.summary.validate_profile_record` against the file
+produced by ``benchmarks/bench_profile.py``, so a refactor that drops a
+phase, loses ``cpu_count``, or emits malformed fractions fails the build
+instead of silently degrading the profile artifact.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_profile_schema.py \
+        results/BENCH_profile.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import TraceFormatError
+from repro.obs.summary import validate_profile_record
+
+
+def main(argv: list[str]) -> int:
+    """Validate each profile JSON path given on the command line."""
+    if not argv:
+        print("usage: check_profile_schema.py BENCH_profile.json [...]",
+              file=sys.stderr)
+        return 2
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"error: {path}: no such file (did bench_profile run?)",
+                  file=sys.stderr)
+            return 1
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            print(f"error: {path}: not valid JSON: {exc}", file=sys.stderr)
+            return 1
+        try:
+            validate_profile_record(record)
+        except TraceFormatError as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 1
+        rows = record["rows"]
+        print(f"{path}: ok (cpu_count={record['cpu_count']}, "
+              f"{len(rows)} rows, workers="
+              f"{[row['workers'] for row in rows]})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
