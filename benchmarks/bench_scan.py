@@ -5,11 +5,13 @@ Measures what ``--metrics-workers N`` buys for the two remaining
 pass (``chunked_quality``) — and what the bit-packed cover saves:
 
 * **throughput** — sequential sweep vs 1/2/4 scan workers over the same
-  sharded export, best-of-``_REPEATS`` wall-clock.  Worker scaling is
-  real process parallelism, so on a single-core container (cpu_count is
-  recorded in the JSON, as in ``bench_workers``) the measured speedup is
-  bounded by ~1x and the *modeled* speedup — total edges over the
-  largest per-worker share, the same ideal-network model
+  sharded export, best-of-``_REPEATS`` wall-clock, with cold one-shot
+  pools and with a warm :class:`~repro.stream.PersistentWorkerPool`
+  (PR 7's default, where the spawn tax is paid once).  Worker scaling
+  is real process parallelism, so on a single-core container
+  (cpu_count is recorded in the JSON, as in ``bench_workers``) the
+  measured speedup is bounded by ~1x and the *modeled* speedup — total
+  edges over the largest per-worker share, the same ideal-network model
   ``MultiWorkerReport.modeled_speedup`` reports — records the scaling
   the shard split exposes to a multi-core host.
 * **cover memory** — the metrics cover is ``k * ceil(n / 8)`` bytes
@@ -17,7 +19,8 @@ pass (``chunked_quality``) — and what the bit-packed cover saves:
   next to the ``k x n``-byte dense matrix it replaced; the traced-heap
   peak of one sequential metrics pass is recorded too.
 
-The measured rows land in ``results/BENCH_scan.json``.
+The measured rows land in ``results/BENCH_scan.json`` (validated by
+``tools/check_bench_schema.py``).
 
 Like every ``bench_*`` module here, functions use the ``bench_`` prefix
 so the tier-1 test run (default ``python_functions = test*``) never
@@ -40,12 +43,15 @@ import pytest
 
 from repro.graph.generators import chung_lu
 from repro.stream import (
+    PersistentWorkerPool,
     chunked_quality,
     open_edge_source,
     parallel_chunked_quality,
     parallel_scan_source,
     plan_worker_segments,
+    scan_quality,
     scan_source,
+    scan_stats,
     write_sharded_edges,
 )
 from repro.stream.scan import cover_nbytes
@@ -119,6 +125,7 @@ def bench_parallel_scan_throughput(manifest, capsys):
         {
             "driver": "sequential scan + metrics",
             "workers": 0,
+            "pool": "none",
             "seconds": seq_s,
             "speedup_vs_sequential": 1.0,
             "modeled_speedup": 1.0,
@@ -140,10 +147,45 @@ def bench_parallel_scan_throughput(manifest, capsys):
         assert np.array_equal(pstats.degrees, stats.degrees)
         rows.append(
             {
-                "driver": f"parallel scan + metrics ({workers}w)",
+                "driver": f"parallel scan + metrics ({workers}w, cold pools)",
                 "workers": workers,
+                "pool": "cold",
                 "seconds": par_s,
                 "speedup_vs_sequential": seq_s / par_s,
+                "modeled_speedup": modeled,
+            }
+        )
+
+        # The same sweeps on a warm shared-memory pool (PR 7's default
+        # path): the spawn tax is paid once, outside the timed region.
+        pool = PersistentWorkerPool(workers)
+        pool.start()
+        try:
+            def warm(w=workers):
+                wstats = scan_stats(
+                    manifest.path,
+                    open_edge_source(manifest.path, _CHUNK),
+                    w, _CHUNK, pool=pool,
+                )
+                wquality = scan_quality(
+                    manifest.path,
+                    open_edge_source(manifest.path, _CHUNK),
+                    wstats, _K, parts, w, _CHUNK, pool=pool,
+                )
+                return wstats, wquality
+
+            warm_s, (wstats, warm_quality) = _best_of(warm)
+        finally:
+            pool.shutdown()
+        assert warm_quality == seq_quality  # bit-identical floats
+        assert np.array_equal(wstats.degrees, stats.degrees)
+        rows.append(
+            {
+                "driver": f"parallel scan + metrics ({workers}w, warm pool)",
+                "workers": workers,
+                "pool": "warm",
+                "seconds": warm_s,
+                "speedup_vs_sequential": seq_s / warm_s,
                 "modeled_speedup": modeled,
             }
         )
@@ -176,16 +218,16 @@ def bench_parallel_scan_throughput(manifest, capsys):
         )
         for row in rows:
             print(
-                f"  {row['driver']:<34} {row['seconds']:.3f}s  "
+                f"  {row['driver']:<44} {row['seconds']:.3f}s  "
                 f"x{row['speedup_vs_sequential']:.2f} measured, "
                 f"x{row['modeled_speedup']:.2f} modeled"
             )
     four = rows[-1]
-    assert four["workers"] == 4
+    assert four["workers"] == 4 and four["pool"] == "warm"
     if (os.cpu_count() or 1) >= 4:
         assert four["speedup_vs_sequential"] >= 1.5, (
-            f"4-worker scan only x{four['speedup_vs_sequential']:.2f} on a "
-            f"{os.cpu_count()}-core host"
+            f"4-worker warm scan only x{four['speedup_vs_sequential']:.2f} "
+            f"on a {os.cpu_count()}-core host"
         )
     else:
         # Single/dual-core container: process parallelism cannot beat the

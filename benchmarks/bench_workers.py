@@ -2,7 +2,9 @@
 
 Measures what ``partition --workers N`` actually buys over the
 *single-worker* sequential out-of-core driver — the path a user without
-``--workers`` runs today.  Two honest effects stack:
+``--workers`` runs today — and what the PR 7 shared-memory protocol
+buys over the PR 4 pickled-delta pipes at the same configuration.
+Three honest effects stack:
 
 * **batching** — the BSP schedule scores ``batch`` edges per worker per
   superstep against a frozen snapshot, so scoring vectorizes; the
@@ -10,15 +12,22 @@ Measures what ``partition --workers N`` actually buys over the
   depends on the previous placement).  This alone is a >= 1.3x
   wall-clock win on any hardware, bought with the (reported) small
   replication-factor cost of staleness.
+* **shared-memory state** — worker batches land in scratch lanes of one
+  ``/dev/shm`` segment and snapshots are published by flipping a double
+  buffer, so the pipe path's pickle/encode/apply tax disappears.  The
+  paired rows record the protocol delta per worker count; it is a real
+  per-superstep saving even on one core.
 * **process parallelism** — with ``N`` workers each streams its own
   shard assignment, so scoring and shard decode run concurrently on
-  multi-core hosts.  The per-configuration rows record it; on a
-  single-core container (``cpu_count`` is recorded in the JSON) worker
-  scaling is bounded by barrier amortization alone.
+  multi-core hosts.  On a single-core container (``cpu_count`` is
+  recorded in the JSON) worker scaling is bounded by barrier
+  amortization alone, so the 4-vs-1-worker gate falls back to the
+  work-split model — the same convention ``bench_scan.py`` uses.
 
-The measured rows land in ``results/BENCH_workers.json`` with 1/2/4
-worker wall-clock and replication factor, plus the sequential
-single-worker baseline every speedup is computed against.
+The measured rows land in ``results/BENCH_workers.json`` (validated by
+``tools/check_bench_schema.py``) with per-protocol 1/2/4-worker
+wall-clock and replication factor, plus the sequential single-worker
+baseline every speedup is computed against.
 
 Like every ``bench_*`` module here, functions use the ``bench_`` prefix
 so the tier-1 test run (default ``python_functions = test*``) never
@@ -41,6 +50,7 @@ from repro.graph import datasets
 from repro.stream import (
     MultiWorkerStreamingDriver,
     StreamingPartitionerDriver,
+    plan_worker_segments,
     write_sharded_edges,
 )
 
@@ -72,12 +82,14 @@ def _best_of(fn, repeats: int = _REPEATS):
 
 
 def bench_multi_worker_scaling(manifest, capsys):
-    """1/2/4 workers vs the sequential single-worker driver.
+    """1/2/4 workers, shared-memory vs pipes, vs the sequential driver.
 
-    Emits ``results/BENCH_workers.json``.  The 4-worker configuration
-    must beat the single-worker sequential baseline by >= 1.3x — the
-    batching win alone clears that bar on one core, and worker
-    parallelism stacks on top wherever there is more than one.
+    Emits ``results/BENCH_workers.json``.  Gates: the widest
+    shared-memory configuration must beat the single-worker sequential
+    baseline by >= 1.3x (batching alone clears that on one core); it
+    must not lose to the pipe protocol at the same configuration; and
+    4 workers must beat 1 worker by >= 1.3x — measured where the host
+    has >= 4 cores, by the shard work-split model where it does not.
     """
     seq_s, seq = _best_of(
         lambda: StreamingPartitionerDriver(
@@ -87,6 +99,7 @@ def bench_multi_worker_scaling(manifest, capsys):
     rows = [
         {
             "driver": "sequential single-worker (HDRF informed)",
+            "protocol": "sequential",
             "workers": 1,
             "batch": 1,
             "seconds": seq_s,
@@ -95,23 +108,32 @@ def bench_multi_worker_scaling(manifest, capsys):
             "speedup_vs_single_worker": 1.0,
         }
     ]
+    shm_seconds: dict[int, float] = {}
     for workers in _WORKER_COUNTS:
-        run_s, run = _best_of(
-            lambda w=workers: MultiWorkerStreamingDriver(
-                workers=w, batch=_BATCH
-            ).partition(manifest.path, _K)
-        )
-        rows.append(
-            {
-                "driver": run.algorithm,
-                "workers": workers,
-                "batch": _BATCH,
-                "seconds": run_s,
-                "rf": run.replication_factor,
-                "supersteps": run.report.supersteps,
-                "speedup_vs_single_worker": seq_s / run_s,
-            }
-        )
+        for shared, protocol in ((True, "shared-memory"), (False, "pipes")):
+            run_s, run = _best_of(
+                lambda w=workers, s=shared: MultiWorkerStreamingDriver(
+                    workers=w, batch=_BATCH, shared_memory=s
+                ).partition(manifest.path, _K)
+            )
+            if shared:
+                shm_seconds[workers] = run_s
+            rows.append(
+                {
+                    "driver": f"{run.algorithm} ({protocol})",
+                    "protocol": protocol,
+                    "workers": workers,
+                    "batch": _BATCH,
+                    "seconds": run_s,
+                    "rf": run.replication_factor,
+                    "supersteps": run.report.supersteps,
+                    "speedup_vs_single_worker": seq_s / run_s,
+                }
+            )
+    # The parallelism the shard split exposes to a multi-core host,
+    # independent of this container's core count.
+    _, streams, _, _ = plan_worker_segments(manifest.path, max(_WORKER_COUNTS))
+    modeled_parallelism = manifest.num_edges / max(s.size for s in streams)
     record = {
         "bench": "multi_worker_scaling",
         "graph": "WI",
@@ -119,6 +141,7 @@ def bench_multi_worker_scaling(manifest, capsys):
         "k": _K,
         "shards": _SHARDS,
         "cpu_count": os.cpu_count(),
+        "modeled_parallelism_4w": modeled_parallelism,
         "rows": rows,
     }
     _RESULTS.mkdir(exist_ok=True)
@@ -132,10 +155,30 @@ def bench_multi_worker_scaling(manifest, capsys):
                 f"rf={row['rf']:.4f}  "
                 f"x{row['speedup_vs_single_worker']:.2f}"
             )
-    multi = rows[-1]
-    assert multi["speedup_vs_single_worker"] >= 1.3, (
-        f"4-worker run only {multi['speedup_vs_single_worker']:.2f}x faster "
-        f"than the sequential single-worker driver"
+    shm_rows = [r for r in rows if r["protocol"] == "shared-memory"]
+    pipe_rows = [r for r in rows if r["protocol"] == "pipes"]
+    widest_shm, widest_pipe = shm_rows[-1], pipe_rows[-1]
+    assert widest_shm["speedup_vs_single_worker"] >= 1.3, (
+        f"4-worker shared-memory run only "
+        f"{widest_shm['speedup_vs_single_worker']:.2f}x faster than the "
+        f"sequential single-worker driver"
     )
+    # The protocol swap must never cost wall-clock (small noise margin).
+    assert widest_shm["seconds"] <= widest_pipe["seconds"] * 1.05, (
+        f"shared memory ({widest_shm['seconds']:.3f}s) lost to pipes "
+        f"({widest_pipe['seconds']:.3f}s) at 4 workers"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert shm_seconds[1] / shm_seconds[4] >= 1.3, (
+            f"4 workers only beat 1 worker by "
+            f"x{shm_seconds[1] / shm_seconds[4]:.2f} on a "
+            f"{os.cpu_count()}-core host"
+        )
+    else:
+        # Too few cores for process parallelism to beat the clock: pin
+        # the work-split the shard schedule exposes instead.
+        assert modeled_parallelism >= 1.3, (
+            f"4-worker shard split only models x{modeled_parallelism:.2f}"
+        )
     # Staleness must stay a modest quality cost (the BSP trade-off).
-    assert multi["rf"] <= rows[0]["rf"] * 1.15
+    assert widest_shm["rf"] <= rows[0]["rf"] * 1.15

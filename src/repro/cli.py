@@ -109,6 +109,9 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.batch is not None and args.workers is None:
         raise ReproError("--batch sizes the per-worker superstep; it "
                          "requires --workers")
+    if not args.shared_memory and not args.out_of_core:
+        raise ReproError("--no-shared-memory selects the worker state "
+                         "protocol; it requires --out-of-core")
     if args.out_of_core:
         return _partition_out_of_core(args)
     if args.memory_budget is not None:
@@ -227,6 +230,7 @@ def _partition_multi_worker(args: argparse.Namespace) -> int:
         prefetch=args.prefetch,
         # 0 = "not set": the driver then scans with its worker count.
         metrics_workers=args.metrics_workers or None,
+        shared_memory=args.shared_memory,
     )
     result = driver.partition(args.graph, args.k)
     print(f"partitioner        : {result.algorithm} (out-of-core, "
@@ -234,9 +238,17 @@ def _partition_multi_worker(args: argparse.Namespace) -> int:
     print(f"source             : {args.graph} "
           f"(n={result.num_vertices:,} m={result.num_edges:,})")
     print(f"chunk size         : {result.chunk_size:,} edges")
+    _print_worker_protocol(args.shared_memory)
     _print_worker_report(result.report)
     _print_ooc_quality(result, args.output)
     return 0
+
+
+def _print_worker_protocol(shared_memory: bool) -> None:
+    """One line naming the worker state protocol that ran."""
+    print("worker protocol    : "
+          + ("shared-memory snapshots, warm pool" if shared_memory
+             else "pickled deltas over pipes (--no-shared-memory)"))
 
 
 def _print_worker_report(report) -> None:
@@ -275,6 +287,7 @@ def _multi_worker_hep(args: argparse.Namespace, batch: int) -> int:
         spill_compression=args.spill_compression,
         prefetch=args.prefetch,
         mmap=args.mmap,
+        shared_memory=args.shared_memory,
         **kwargs,
     )
     result = pipeline.partition(args.graph, args.k)
@@ -283,6 +296,7 @@ def _multi_worker_hep(args: argparse.Namespace, batch: int) -> int:
     print(f"source             : {args.graph} "
           f"(n={result.num_vertices:,} m={result.num_edges:,})")
     print(f"chunk size         : {result.chunk_size:,} edges")
+    _print_worker_protocol(args.shared_memory)
     if result.projected_memory_bytes is not None:
         print(f"memory budget      : {args.memory_budget:,} bytes "
               f"(projected {result.projected_memory_bytes:,})")
@@ -366,6 +380,7 @@ def _out_of_core_baseline(args: argparse.Namespace) -> int:
         prefetch=args.prefetch,
         mmap=args.mmap,
         metrics_workers=args.metrics_workers,
+        shared_memory=args.shared_memory,
         **algo_kwargs,
     )
     result = driver.partition(args.graph, args.k)
@@ -402,33 +417,50 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     # The same predicate scan_stats/scan_quality evaluate internally, so
     # the printed path always matches the one that ran.
     parallel = effective_scan_workers(args.graph, args.metrics_workers)
-    stats = scan_stats(
-        args.graph, opened, args.metrics_workers, args.chunk_size
-    )
-    print(f"source             : {opened.describe()}")
-    print(f"universe           : n={stats.num_vertices:,} "
-          f"m={stats.num_edges:,}")
-    max_degree = int(stats.degrees.max()) if stats.num_vertices else 0
-    isolated = int((stats.degrees == 0).sum())
-    print(f"degrees            : mean {stats.mean_degree:.3f}, "
-          f"max {max_degree:,}, isolated {isolated:,}")
-    print(f"scan passes        : "
-          + (f"{parallel} worker processes" if parallel else "sequential"))
-    if args.parts is None:
-        return 0
-    from repro.metrics import streamed_quality_report
+    pool = None
+    if parallel and args.shared_memory:
+        from repro.stream import PersistentWorkerPool
 
-    parts = np.loadtxt(args.parts, dtype=np.int64, ndmin=1)
-    k = args.k if args.k is not None else int(max(parts.max(), 0)) + 1
-    report = streamed_quality_report(
-        args.graph,
-        parts,
-        k,
-        workers=args.metrics_workers,
-        chunk_size=args.chunk_size,
-        memory_budget=args.memory_budget,
-        stats=stats,  # the counting pass above; don't sweep twice
-    )
+        pool = PersistentWorkerPool(args.metrics_workers)
+        pool.start()
+    try:
+        stats = scan_stats(
+            args.graph, opened, args.metrics_workers, args.chunk_size,
+            pool=pool,
+        )
+        print(f"source             : {opened.describe()}")
+        print(f"universe           : n={stats.num_vertices:,} "
+              f"m={stats.num_edges:,}")
+        max_degree = int(stats.degrees.max()) if stats.num_vertices else 0
+        isolated = int((stats.degrees == 0).sum())
+        print(f"degrees            : mean {stats.mean_degree:.3f}, "
+              f"max {max_degree:,}, isolated {isolated:,}")
+        if parallel:
+            style = ("warm shared-memory pool" if pool is not None
+                     else "cold pools, --no-shared-memory")
+            print(f"scan passes        : {parallel} worker processes "
+                  f"({style})")
+        else:
+            print("scan passes        : sequential")
+        if args.parts is None:
+            return 0
+        from repro.metrics import streamed_quality_report
+
+        parts = np.loadtxt(args.parts, dtype=np.int64, ndmin=1)
+        k = args.k if args.k is not None else int(max(parts.max(), 0)) + 1
+        report = streamed_quality_report(
+            args.graph,
+            parts,
+            k,
+            workers=args.metrics_workers,
+            chunk_size=args.chunk_size,
+            memory_budget=args.memory_budget,
+            stats=stats,  # the counting pass above; don't sweep twice
+            pool=pool,
+        )
+    finally:
+        if pool is not None:
+            pool.shutdown()
     print(f"assignment         : {args.parts} (k={k})")
     print(f"replication factor : {report.replication_factor:.4f}")
     print(f"edge balance alpha : {report.edge_balance:.4f}")
@@ -616,6 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "processes (--out-of-core; bit-identical results; "
                         "0 = sequential, or the --workers count for the "
                         "multi-worker drivers)")
+    p.add_argument("--shared-memory", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="serve worker state from a shared-memory segment "
+                        "on a warm process pool (the default); "
+                        "--no-shared-memory falls back to the pickled-"
+                        "delta pipe protocol (bit-identical, slower)")
     _add_trace_args(p)
     p.set_defaults(func=_cmd_partition)
 
@@ -638,6 +676,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
                    help="byte bound for the metrics cover; larger covers "
                         "fall back to column-blocked sweeps")
+    p.add_argument("--shared-memory", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="run both passes on one warm worker pool, shipping "
+                        "the assignment through shared memory; "
+                        "--no-shared-memory forks a cold pool per pass")
     _add_trace_args(p)
     p.set_defaults(func=_cmd_scan)
 

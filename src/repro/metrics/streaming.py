@@ -56,6 +56,7 @@ def streamed_quality_report(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     memory_budget: int | None = None,
     stats: SourceStats | None = None,
+    pool=None,
 ) -> StreamedQuality:
     """Score an assignment against any edge source, out of core.
 
@@ -68,14 +69,16 @@ def streamed_quality_report(
     several) metrics passes — the edge list is never resident.  A
     caller that already ran the counting pass hands its
     :class:`~repro.stream.scan.SourceStats` in as ``stats`` and skips
-    the redundant sweep.
+    the redundant sweep; one holding a warm
+    :class:`~repro.stream.workers.PersistentWorkerPool` hands it in as
+    ``pool`` so the sweeps reuse its processes.
     """
     if k < 1:
         raise ConfigurationError(f"streamed quality requires k >= 1, got {k}")
     parts = np.asarray(parts)
     opened = open_edge_source(source, chunk_size)
     if stats is None:
-        stats = scan_stats(source, opened, workers, chunk_size)
+        stats = scan_stats(source, opened, workers, chunk_size, pool=pool)
     if parts.shape != (stats.num_edges,):
         raise ConfigurationError(
             f"parts has shape {parts.shape}, but the source streams "
@@ -87,7 +90,7 @@ def streamed_quality_report(
         )
     rf, balance = scan_quality(
         source, opened, stats, k, parts, workers, chunk_size,
-        memory_budget=memory_budget,
+        memory_budget=memory_budget, pool=pool,
     )
     return StreamedQuality(
         replication_factor=rf,

@@ -141,7 +141,12 @@ def phase_breakdown(
     The attribution rules mirror the span taxonomy (see
     ``docs/observability.md``):
 
-    * ``pool_spawn`` spans → **spawn**;
+    * ``pool_spawn`` spans → **spawn**; coordinator-side ``shm_attach``
+      spans (segment create/attach, no ``worker`` attr) are pool setup
+      too → **spawn** (worker-side attaches overlap the coordinator's
+      recv wait and are already apportioned there);
+    * ``superstep_commit`` (the shared-memory protocol's double-buffer
+      fold+flip, aggregated over the run) → **merge**;
     * ``pool_run`` spans carry coordinator-side counters: ``send_s`` →
       **pipe**, ``merge_s`` → **merge**, ``encode_s`` → **pickle**, and
       ``recv_wait_s`` (time the coordinator blocked on worker frames)
@@ -150,7 +155,8 @@ def phase_breakdown(
       shares (all to **pipe** when workers reported nothing);
     * sequential coordinator stages (counting/metrics scans, tau
       selection, splitting, phase one, streaming, spill dealing,
-      extsort stages) → **compute**, minus any nested pool spans.
+      extsort stages) → **compute**, minus any nested pool or
+      ``shm_attach`` spans.
 
     Returns ``{"wall_s", "seconds", "fractions", "attributed"}`` where
     ``fractions`` includes an ``other`` remainder.
@@ -168,6 +174,11 @@ def phase_breakdown(
         counters = span.get("counters") or {}
         if name == "pool_spawn":
             seconds["spawn"] += span.get("dur_s", 0.0)
+        elif name == "shm_attach":
+            if "worker" not in (span.get("attrs") or {}):
+                seconds["spawn"] += span.get("dur_s", 0.0)
+        elif name == "superstep_commit":
+            seconds["merge"] += span.get("dur_s", 0.0)
         elif name == "pool_run":
             seconds["pipe"] += counters.get("send_s", 0.0)
             seconds["merge"] += counters.get("merge_s", 0.0)
@@ -197,6 +208,7 @@ def phase_breakdown(
                 child.get("dur_s", 0.0)
                 for child in children[span["id"]]
                 if child["name"] in _POOL_SPANS
+                or child["name"] == "shm_attach"
                 or child["name"] in _SEQ_COMPUTE
             )
             seconds["compute"] += max(span.get("dur_s", 0.0) - nested, 0.0)

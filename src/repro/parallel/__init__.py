@@ -4,7 +4,8 @@ See :mod:`repro.parallel.bsp_streaming` for the bulk-synchronous
 parallel streaming phase and :class:`ParallelHepPartitioner`;
 :mod:`repro.parallel.kernel` holds the snapshot-scoring / delta-merge
 kernels shared with the multi-process driver
-(:mod:`repro.stream.workers`).
+(:mod:`repro.stream.workers`); :mod:`repro.parallel.shm` holds the
+shared-memory state the warm worker pools snapshot and commit against.
 """
 
 from repro.parallel.bsp_streaming import (
@@ -13,6 +14,7 @@ from repro.parallel.bsp_streaming import (
     bsp_hdrf_stream,
 )
 from repro.parallel.kernel import (
+    FusedBatchScorer,
     apply_batch,
     apply_delta,
     contiguous_streams,
@@ -22,11 +24,15 @@ from repro.parallel.kernel import (
     shard_round_robin_streams,
     superstep_is_safe,
 )
+from repro.parallel.shm import SharedArray, SharedState
 
 __all__ = [
     "ParallelHepPartitioner",
     "bsp_hdrf_stream",
     "BspStreamReport",
+    "SharedArray",
+    "SharedState",
+    "FusedBatchScorer",
     "score_batch_on_snapshot",
     "superstep_is_safe",
     "place_batch_serialized",

@@ -1,0 +1,450 @@
+"""Shared-memory BSP state: numpy views over one ``/dev/shm`` segment.
+
+PR 4's multi-worker protocol shipped *state* over pipes: every
+superstep each worker pickled/encoded its batch, the coordinator
+re-encoded the merged delta, and every worker re-applied it to a
+private snapshot copy — ``O(workers² · batch)`` bytes framed and
+``O(workers · batch)`` redundant apply work per superstep.  The
+profiling subsystem (``bench_profile.py``) attributes most of the
+multi-worker gap to exactly that spawn/pickle/pipe tax.
+
+This module replaces the data plane with one
+:mod:`multiprocessing.shared_memory` segment that workers and the
+coordinator map as plain numpy views; pipes are demoted to tiny control
+frames (a one-byte tag plus the spill frame header).  Two ideas make it
+bit-identical to the pipe protocol and the in-process
+:func:`~repro.parallel.bsp_streaming.bsp_hdrf_stream`:
+
+* **Double-buffered snapshot/commit** (:class:`SharedState`): the
+  replica cover and per-partition loads exist twice in the segment.
+  Workers only ever read the *published* buffer — by the BSP invariant
+  it equals the live state at the start of the superstep they are
+  scoring.  The coordinator merges batches into its private live state
+  exactly as before, then :meth:`SharedState.commit` folds the last two
+  superstep deltas into the *staging* buffer (each buffer is two
+  supersteps stale, so replaying both pending deltas catches it up in
+  ``O(batch)``) and flips the published index.  The flip
+  happens-before the ``COMMIT`` control frame that releases the
+  workers, so no worker can observe a torn snapshot.
+* **Per-worker scratch lanes**: each worker owns a fixed slice of the
+  segment where it writes its batch (edge ids, endpoints, and either
+  chosen partitions or the full score matrix near capacity).  The
+  control frame carries only the record count; the coordinator reads
+  the lane directly — nothing is pickled on the hot path.
+
+Segment lifetime: the creator (coordinator) owns the name and must
+:meth:`~SharedState.unlink` it (the drivers do so in ``finally``
+blocks); workers attach by name and detach with
+:meth:`~SharedState.close`.  Neither side ever talks to
+``multiprocessing.resource_tracker``: the tracker assumes every mapped
+segment is owned and unlinks it on process exit (tearing live segments
+out from under the coordinator when a worker exits first), and its
+per-name cache is a *set*, so the registrations of two workers
+attaching concurrently collapse into one entry and the second
+deregistration crashes the tracker loop with ``KeyError`` noise.
+Python 3.13 grew ``track=False`` for exactly this; on 3.10–3.12 the
+register/unregister calls are suppressed instead
+(:func:`_tracker_paused`).  Leak safety is owned by the explicit
+``finally`` unlinks plus the test-session and CI ``psm_*`` gates.
+
+:class:`SharedArray` is the one-array little sibling used to ship the
+read-only assignment to metrics workers without pickling it per job.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.parallel.kernel import apply_delta
+
+__all__ = ["SharedArray", "SharedState"]
+
+_TRIPLE_FIELDS = 3  # eids, us, vs — one scratch column each
+
+_TRACKER_LOCK = threading.Lock()
+
+
+@contextlib.contextmanager
+def _tracker_paused():
+    """Suppress ``resource_tracker`` traffic for one shm call.
+
+    ``SharedMemory`` registers the name on *both* create and attach and
+    unregisters it on unlink; the module docstring explains why any of
+    those messages is wrong for a segment whose lifetime the drivers
+    manage explicitly.  ``shared_memory.py`` resolves both functions as
+    module attributes at call time, so swapping them for no-ops around
+    the call is exactly Python 3.13's ``track=False`` — the lock only
+    serializes this process's own threads.
+    """
+    with _TRACKER_LOCK:
+        saved = (resource_tracker.register, resource_tracker.unregister)
+        resource_tracker.register = lambda name, rtype: None
+        resource_tracker.unregister = lambda name, rtype: None
+        try:
+            yield
+        finally:
+            resource_tracker.register = saved[0]
+            resource_tracker.unregister = saved[1]
+
+
+def _create_untracked(size: int) -> shared_memory.SharedMemory:
+    """Create a fresh segment whose lifetime *we* manage, not the tracker."""
+    with _tracker_paused():
+        return shared_memory.SharedMemory(create=True, size=size)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to segment ``name`` without this process tracking it."""
+    with _tracker_paused():
+        return shared_memory.SharedMemory(name=name)
+
+
+def _unlink_quietly(shm: shared_memory.SharedMemory) -> None:
+    """Remove the segment name, idempotently and without tracker noise."""
+    with _tracker_paused():
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _close_quietly(shm: shared_memory.SharedMemory) -> None:
+    """Close a segment, tolerating numpy views that still pin the map.
+
+    ``mmap.close`` raises :class:`BufferError` while any exported view
+    is alive (on the failure path the propagating traceback can pin
+    views in cycle garbage).  In that case the mapping is handed over
+    to the views — they keep the ``mmap`` object alive and it unmaps
+    when the last one dies — and the descriptor is released here, so
+    ``SharedMemory.__del__`` never retries the close and re-raises
+    during interpreter-shutdown GC (where collection order between the
+    segment and its views is arbitrary).  The *name* (what leak gates
+    watch) is governed by ``unlink``, not by this call.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        shm._mmap = None
+        if getattr(shm, "_fd", -1) >= 0:
+            os.close(shm._fd)
+            shm._fd = -1
+
+
+class SharedArray:
+    """One numpy array in a shared-memory segment (create or attach).
+
+    The creator calls :meth:`create` with the array to publish and owns
+    the segment name (``close`` + ``unlink``); readers call
+    :meth:`attach` with the shape/dtype they expect and get a view via
+    :attr:`array` (``close`` only).
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        owner: bool,
+    ) -> None:
+        """Wrap an already-open segment; use :meth:`create`/:meth:`attach`."""
+        self._shm = shm
+        self._owner = owner
+        self._array: np.ndarray | None = np.ndarray(
+            shape, dtype=dtype, buffer=shm.buf
+        )
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedArray":
+        """Publish a copy of ``array`` in a fresh shared segment."""
+        array = np.ascontiguousarray(array)
+        shm = _create_untracked(max(int(array.nbytes), 1))
+        shared = cls(shm, array.shape, array.dtype, owner=True)
+        shared.array[...] = array
+        return shared
+
+    @classmethod
+    def attach(
+        cls, name: str, shape: tuple[int, ...], dtype
+    ) -> "SharedArray":
+        """Map an existing segment as a ``shape``/``dtype`` view."""
+        shm = _attach_untracked(name)
+        expected = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        if shm.size < expected:
+            _close_quietly(shm)
+            raise ConfigurationError(
+                f"shared segment {name} holds {shm.size} bytes; "
+                f"{expected} expected for shape {shape}"
+            )
+        return cls(shm, tuple(shape), np.dtype(dtype), owner=False)
+
+    @property
+    def name(self) -> str:
+        """Segment name readers pass to :meth:`attach`."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the underlying segment in bytes."""
+        return self._shm.size
+
+    @property
+    def array(self) -> np.ndarray:
+        """The shared view (invalid after :meth:`close`)."""
+        if self._array is None:
+            raise ConfigurationError("shared array used after close()")
+        return self._array
+
+    def close(self) -> None:
+        """Drop the view and unmap the segment (both sides)."""
+        self._array = None
+        _close_quietly(self._shm)
+
+    def unlink(self) -> None:
+        """Remove the segment name (creator only; idempotent)."""
+        if self._owner:
+            _unlink_quietly(self._shm)
+
+
+class SharedState:
+    """Double-buffered BSP streaming state in one shared segment.
+
+    Layout (8-byte-aligned int64/float64 regions first, the bool
+    replica covers last)::
+
+        degrees   n int64                     read-only after create
+        loads     2 × k int64                 double-buffered
+        scratch   workers × lane bytes        per-worker batch lanes
+        replicas  2 × (k × n) bool            double-buffered
+
+    One *lane* holds a full batch: ``3 × batch`` int64 (eids, us, vs)
+    followed by the payload region — ``batch`` int64 partitions on the
+    fast path or a ``batch × k`` float64 score matrix near capacity
+    (the float64 region bounds both).
+
+    Workers read snapshots (:meth:`snapshot`) and write lanes
+    (:meth:`write_batch`); the coordinator reads lanes
+    (:meth:`read_batch`) and advances the published snapshot
+    (:meth:`commit`).  The commit/flip ordering contract is the module
+    docstring's.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        num_vertices: int,
+        k: int,
+        workers: int,
+        batch: int,
+        owner: bool,
+    ) -> None:
+        """Wrap an open segment; use :meth:`create`/:meth:`attach`."""
+        self._shm = shm
+        self._owner = owner
+        self.num_vertices = int(num_vertices)
+        self.k = int(k)
+        self.workers = int(workers)
+        self.batch = int(batch)
+        self.published = 0
+        self._pending: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+        n, k_, w, b = self.num_vertices, self.k, self.workers, self.batch
+        buf = shm.buf
+        off = 0
+
+        def view(count: int, dtype) -> np.ndarray:
+            nonlocal off
+            dtype = np.dtype(dtype)
+            array = np.frombuffer(buf, dtype=dtype, count=count, offset=off)
+            off += count * dtype.itemsize
+            return array
+
+        self._degrees = view(n, np.int64)
+        self._loads = [view(k_, np.int64) for _ in range(2)]
+        self._lane_triples: list[np.ndarray] = []
+        self._lane_parts: list[np.ndarray] = []
+        self._lane_scores: list[np.ndarray] = []
+        for _ in range(w):
+            self._lane_triples.append(view(_TRIPLE_FIELDS * b, np.int64))
+            payload = view(b * k_, np.int64)
+            self._lane_parts.append(payload[:b])
+            self._lane_scores.append(
+                payload.view(np.float64).reshape(b, k_)
+            )
+        self._replicas = [
+            view(k_ * n, np.bool_).reshape(k_, n) for _ in range(2)
+        ]
+        self._total_bytes = off
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def segment_bytes(num_vertices: int, k: int, workers: int, batch: int
+                      ) -> int:
+        """Bytes the layout above needs for these dimensions."""
+        lane = (_TRIPLE_FIELDS * batch + batch * k) * 8
+        return num_vertices * 8 + 2 * k * 8 + workers * lane \
+            + 2 * k * num_vertices
+
+    @classmethod
+    def create(
+        cls,
+        num_vertices: int,
+        k: int,
+        workers: int,
+        batch: int,
+        degrees: np.ndarray,
+        replicas: np.ndarray,
+        loads: np.ndarray,
+    ) -> "SharedState":
+        """Allocate a segment seeded with the superstep-0 snapshot.
+
+        Both buffers start equal to the initial state (they are zero
+        and one commits behind a published buffer that has seen zero
+        commits), so the first two :meth:`commit` calls find correctly
+        aged staging buffers.
+        """
+        if workers < 1 or batch < 1:
+            raise ConfigurationError(
+                f"shared state needs workers/batch >= 1, got "
+                f"{workers}/{batch}"
+            )
+        size = cls.segment_bytes(num_vertices, k, workers, batch)
+        shm = _create_untracked(max(size, 1))
+        state = cls(shm, num_vertices, k, workers, batch, owner=True)
+        state._degrees[...] = degrees
+        for index in range(2):
+            state._loads[index][...] = loads
+            state._replicas[index][...] = replicas
+        return state
+
+    @classmethod
+    def attach(
+        cls, name: str, num_vertices: int, k: int, workers: int, batch: int
+    ) -> "SharedState":
+        """Map the coordinator's segment from a worker process."""
+        shm = _attach_untracked(name)
+        expected = cls.segment_bytes(num_vertices, k, workers, batch)
+        if shm.size < expected:
+            _close_quietly(shm)
+            raise ConfigurationError(
+                f"shared state segment {name} holds {shm.size} bytes; "
+                f"{expected} expected for n={num_vertices} k={k} "
+                f"workers={workers} batch={batch}"
+            )
+        return cls(shm, num_vertices, k, workers, batch, owner=False)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Segment name workers pass to :meth:`attach`."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the underlying segment in bytes."""
+        return self._total_bytes
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """The exact-degree array (written once by the creator)."""
+        return self._degrees
+
+    def snapshot(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(replicas, loads)`` views of buffer ``index`` (0 or 1)."""
+        return self._replicas[index], self._loads[index]
+
+    # -- worker side ---------------------------------------------------------
+
+    def write_batch(
+        self,
+        worker_id: int,
+        eids: np.ndarray,
+        us: np.ndarray,
+        vs: np.ndarray,
+        ps: np.ndarray | None = None,
+        scores: np.ndarray | None = None,
+    ) -> None:
+        """Write one batch into worker ``worker_id``'s scratch lane.
+
+        Exactly one of ``ps`` (fast path: chosen partitions) or
+        ``scores`` (slow path: the full score matrix) must be given.
+        Only the control frame's record count tells the coordinator how
+        much of the lane is live.
+        """
+        count = eids.shape[0]
+        b = self.batch
+        triples = self._lane_triples[worker_id]
+        triples[:count] = eids
+        triples[b:b + count] = us
+        triples[2 * b:2 * b + count] = vs
+        if ps is not None:
+            self._lane_parts[worker_id][:count] = ps
+        else:
+            self._lane_scores[worker_id][:count] = scores
+
+    # -- coordinator side ----------------------------------------------------
+
+    def read_batch(
+        self, worker_id: int, count: int, slow: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Views of worker ``worker_id``'s lane: ``(eids, us, vs, extra)``.
+
+        ``extra`` is the chosen-partition vector (``slow=False``) or the
+        ``count × k`` score matrix (``slow=True``).  Views stay valid
+        until the worker's *next* superstep — i.e. until the commit
+        frame is sent — so merge before committing.
+        """
+        b = self.batch
+        triples = self._lane_triples[worker_id]
+        eids = triples[:count]
+        us = triples[b:b + count]
+        vs = triples[2 * b:2 * b + count]
+        if slow:
+            return eids, us, vs, self._lane_scores[worker_id][:count]
+        return eids, us, vs, self._lane_parts[worker_id][:count]
+
+    def commit(
+        self, us: np.ndarray, vs: np.ndarray, ps: np.ndarray
+    ) -> int:
+        """Fold one superstep's merged delta in; flip; return the new index.
+
+        The staging buffer last published two supersteps ago, so it is
+        exactly the previous pending delta plus this one behind the
+        live state — replay both and it is current.  ``us``/``vs``/
+        ``ps`` are kept by reference until the superstep after next:
+        pass arrays that no worker lane backs (the drivers pass
+        freshly concatenated copies).
+        """
+        staging = 1 - self.published
+        replicas, loads = self.snapshot(staging)
+        if self._pending is not None:
+            apply_delta(replicas, loads, *self._pending)
+        apply_delta(replicas, loads, us, vs, ps)
+        self._pending = (us, vs, ps)
+        self.published = staging
+        return staging
+
+    # -- lifetime ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop every view and unmap the segment (both sides)."""
+        self._degrees = None
+        self._loads = None
+        self._replicas = None
+        self._lane_triples = None
+        self._lane_parts = None
+        self._lane_scores = None
+        self._pending = None
+        _close_quietly(self._shm)
+
+    def unlink(self) -> None:
+        """Remove the segment name (creator only; idempotent)."""
+        if self._owner:
+            _unlink_quietly(self._shm)

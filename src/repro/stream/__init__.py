@@ -37,7 +37,11 @@ paper compares against:
   OS processes each stream their shard assignment against a shared
   replica/load snapshot under the BSP schedule, bit-identical to the
   in-process :func:`~repro.parallel.bsp_streaming.bsp_hdrf_stream`
-  (``partition --workers N --out-of-core``).
+  (``partition --workers N --out-of-core``).  By default the snapshot
+  lives in one :mod:`multiprocessing.shared_memory` segment
+  (:class:`~repro.parallel.shm.SharedState`) served to a warm
+  :class:`PersistentWorkerPool`; ``--no-shared-memory`` restores the
+  pickled-delta pipe protocol.
 """
 
 from repro.stream.buffered import buffered_hdrf_stream, stream_chunks_through_hdrf
@@ -93,9 +97,11 @@ from repro.stream.workers import (
     MultiWorkerReport,
     MultiWorkerResult,
     MultiWorkerStreamingDriver,
+    PersistentWorkerPool,
     StateService,
     WorkerPool,
     plan_worker_segments,
+    run_bsp_shared,
     split_spill_round_robin,
 )
 
@@ -124,6 +130,8 @@ __all__ = [
     "read_spill_chunks",
     "EdgeSegment",
     "WorkerPool",
+    "PersistentWorkerPool",
+    "run_bsp_shared",
     "StateService",
     "MultiWorkerReport",
     "MultiWorkerResult",

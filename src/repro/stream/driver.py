@@ -46,7 +46,11 @@ from repro.partition.grid import grid_cells, grid_shape, grid_stream
 from repro.partition.hdrf import hdrf_stream
 from repro.partition.restreaming import restream_block
 from repro.partition.state import StreamingState
-from repro.stream.parallel_scan import scan_quality, scan_stats
+from repro.stream.parallel_scan import (
+    effective_scan_workers,
+    scan_quality,
+    scan_stats,
+)
 from repro.stream.reader import (
     DEFAULT_CHUNK_SIZE,
     EdgeChunkSource,
@@ -310,6 +314,12 @@ class StreamingPartitionerDriver:
         processes (:mod:`repro.stream.parallel_scan`) — bit-identical
         results, wall-clock scaling with cores.  0/1 keeps the
         sequential sweeps.
+    shared_memory:
+        When the scan passes run on workers, keep one warm
+        :class:`~repro.stream.workers.PersistentWorkerPool` alive for
+        both passes instead of forking a fresh pool per pass.
+        ``False`` restores the PR 5 cold-pool behavior (the
+        ``--no-shared-memory`` escape hatch).
     """
 
     def __init__(
@@ -322,6 +332,7 @@ class StreamingPartitionerDriver:
         prefetch: int = 0,
         mmap: bool = False,
         metrics_workers: int = 0,
+        shared_memory: bool = True,
         **algo_kwargs,
     ) -> None:
         if isinstance(algorithm, StreamingAlgorithm):
@@ -343,6 +354,7 @@ class StreamingPartitionerDriver:
         self.prefetch = int(prefetch)
         self.mmap = bool(mmap)
         self.metrics_workers = int(metrics_workers)
+        self.shared_memory = bool(shared_memory)
         self.last_result: StreamedResult | None = None
         self.name = f"{self.algorithm.name}-ooc"
 
@@ -370,30 +382,45 @@ class StreamingPartitionerDriver:
             )
             if self.prefetch > 0:
                 src = PrefetchingEdgeSource(src, depth=self.prefetch)
-            stats = scan_stats(
-                source, src, self.metrics_workers, self.chunk_size
-            )
-            if stats.num_edges == 0:
-                raise PartitioningError(
-                    f"{self.algorithm.name}: edge stream is empty"
+            warm = None
+            if self.shared_memory and effective_scan_workers(
+                source, self.metrics_workers
+            ):
+                # Deferred: workers -> pipeline would otherwise join this
+                # module's import path for the sequential-only case.
+                from repro.stream.workers import PersistentWorkerPool
+
+                warm = PersistentWorkerPool(self.metrics_workers)
+                warm.start()
+            try:
+                stats = scan_stats(
+                    source, src, self.metrics_workers, self.chunk_size,
+                    pool=warm,
                 )
-            capacity = capacity_bound(stats.num_edges, k, self.alpha)
-            algo = self.algorithm
-            algo.prepare(stats, k, capacity)
-            parts = np.full(stats.num_edges, -1, dtype=np.int32)
-            for sweep in range(algo.passes):
-                with tracer.span(
-                    "stream_pass", algo=algo.name, sweep=sweep
-                ) as span:
-                    for chunk in src:
-                        algo.process(chunk.pairs, chunk.eids, parts)
-                        span.add("edges_scanned", chunk.num_edges)
-            with tracer.span("finalize", algo=algo.name):
-                parts = algo.finalize(parts, k, capacity)
-            rf, balance = scan_quality(
-                source, src, stats, k, parts, self.metrics_workers,
-                self.chunk_size,
-            )
+                if stats.num_edges == 0:
+                    raise PartitioningError(
+                        f"{self.algorithm.name}: edge stream is empty"
+                    )
+                capacity = capacity_bound(stats.num_edges, k, self.alpha)
+                algo = self.algorithm
+                algo.prepare(stats, k, capacity)
+                parts = np.full(stats.num_edges, -1, dtype=np.int32)
+                for sweep in range(algo.passes):
+                    with tracer.span(
+                        "stream_pass", algo=algo.name, sweep=sweep
+                    ) as span:
+                        for chunk in src:
+                            algo.process(chunk.pairs, chunk.eids, parts)
+                            span.add("edges_scanned", chunk.num_edges)
+                with tracer.span("finalize", algo=algo.name):
+                    parts = algo.finalize(parts, k, capacity)
+                rf, balance = scan_quality(
+                    source, src, stats, k, parts, self.metrics_workers,
+                    self.chunk_size, pool=warm,
+                )
+            finally:
+                if warm is not None:
+                    warm.shutdown()
             source_stats = src.stats()
             if tracer.enabled and source_stats:
                 tracer.event(

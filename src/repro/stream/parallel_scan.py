@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.errors import GraphFormatError, WorkerFailureError
 from repro.obs.tracer import get_tracer, install_collecting_tracer
+from repro.parallel.shm import SharedArray
 from repro.stream.reader import (
     BINARY_SUFFIXES,
     DEFAULT_CHUNK_SIZE,
@@ -73,6 +74,7 @@ from repro.stream.workers import (
     _pack_message,
     _unpack_message,
     BaseWorkerPool,
+    PersistentWorkerPool,
     plan_worker_segments,
 )
 
@@ -152,6 +154,76 @@ def effective_scan_workers(source, workers: int) -> int:
 # -- worker entry points ----------------------------------------------------
 
 
+def _run_count(conn, tracer, worker_id: int, segments, chunk_size: int
+               ) -> None:
+    """The counting sweep itself: shared by cold workers and warm jobs."""
+    perf = time.perf_counter
+    with tracer.span("worker_count", worker=worker_id) as span:
+        t0 = perf()
+        degrees = np.zeros(0, dtype=np.int64)
+        num_edges = 0
+        for segment in segments:
+            path = Path(segment.path)
+            for pairs, _eids in _iter_segment(segment, chunk_size):
+                _validate_chunk(pairs, path)
+                num_edges += pairs.shape[0]
+                degrees = accumulate_degrees(degrees, pairs)
+        busy_s = perf() - t0
+        t0 = perf()
+        payload = (
+            np.array([num_edges], dtype="<i8").tobytes()
+            + np.ascontiguousarray(degrees, dtype="<i8").tobytes()
+        )
+        message = _pack_message(_MSG_COUNTS, degrees.size, payload)
+        encode_s = perf() - t0
+        t0 = perf()
+        conn.send_bytes(message)
+        send_s = perf() - t0
+        for name, value in (
+            ("busy_s", busy_s), ("encode_s", encode_s),
+            ("send_s", send_s), ("edges_scanned", num_edges),
+            ("frames_sent", 1), ("bytes_piped", len(message)),
+        ):
+            span.add(name, value)
+
+
+def _run_cover(
+    conn, tracer, worker_id: int, segments, chunk_size: int, k: int,
+    parts: np.ndarray, blocks,
+) -> None:
+    """The metrics sweep itself: shared by cold workers and warm jobs."""
+    perf = time.perf_counter
+    with tracer.span("worker_cover", worker=worker_id) as span:
+        busy_s = encode_s = send_s = 0.0
+        edges = piped = 0
+        parts = np.asarray(parts)
+        for index, (lo, hi) in enumerate(blocks):
+            t0 = perf()
+            cover = PackedCover(k, lo, hi)
+            for segment in segments:
+                path = Path(segment.path)
+                for pairs, eids in _iter_segment(segment, chunk_size):
+                    _validate_chunk(pairs, path)
+                    cover.mark_assignment(parts, pairs, eids)
+                    edges += pairs.shape[0]
+            busy_s += perf() - t0
+            t0 = perf()
+            message = _pack_message(
+                _MSG_COVER, index, cover.words.tobytes()
+            )
+            encode_s += perf() - t0
+            t0 = perf()
+            conn.send_bytes(message)
+            send_s += perf() - t0
+            piped += len(message)
+        for name, value in (
+            ("busy_s", busy_s), ("encode_s", encode_s),
+            ("send_s", send_s), ("edges_scanned", edges),
+            ("frames_sent", len(blocks)), ("bytes_piped", piped),
+        ):
+            span.add(name, value)
+
+
 def _counting_worker_main(
     worker_id: int, pipes: list, segments, chunk_size: int,
     trace: bool = False,
@@ -159,35 +231,8 @@ def _counting_worker_main(
     """One counting worker: partial degrees + edge count over its segments."""
     conn = _claim_pipe(worker_id, pipes)
     tracer = install_collecting_tracer(trace)
-    perf = time.perf_counter
     try:
-        with tracer.span("worker_count", worker=worker_id) as span:
-            t0 = perf()
-            degrees = np.zeros(0, dtype=np.int64)
-            num_edges = 0
-            for segment in segments:
-                path = Path(segment.path)
-                for pairs, _eids in _iter_segment(segment, chunk_size):
-                    _validate_chunk(pairs, path)
-                    num_edges += pairs.shape[0]
-                    degrees = accumulate_degrees(degrees, pairs)
-            busy_s = perf() - t0
-            t0 = perf()
-            payload = (
-                np.array([num_edges], dtype="<i8").tobytes()
-                + np.ascontiguousarray(degrees, dtype="<i8").tobytes()
-            )
-            message = _pack_message(_MSG_COUNTS, degrees.size, payload)
-            encode_s = perf() - t0
-            t0 = perf()
-            conn.send_bytes(message)
-            send_s = perf() - t0
-            for name, value in (
-                ("busy_s", busy_s), ("encode_s", encode_s),
-                ("send_s", send_s), ("edges_scanned", num_edges),
-                ("frames_sent", 1), ("bytes_piped", len(message)),
-            ):
-                span.add(name, value)
+        _run_count(conn, tracer, worker_id, segments, chunk_size)
         if trace:
             conn.send_bytes(
                 _pack_message(_MSG_TRACE, 0, pickle.dumps(tracer.drain()))
@@ -219,37 +264,10 @@ def _cover_worker_main(
     """One metrics worker: per-block packed covers over its segments."""
     conn = _claim_pipe(worker_id, pipes)
     tracer = install_collecting_tracer(trace)
-    perf = time.perf_counter
     try:
-        with tracer.span("worker_cover", worker=worker_id) as span:
-            busy_s = encode_s = send_s = 0.0
-            edges = piped = 0
-            parts = np.asarray(parts)
-            for index, (lo, hi) in enumerate(blocks):
-                t0 = perf()
-                cover = PackedCover(k, lo, hi)
-                for segment in segments:
-                    path = Path(segment.path)
-                    for pairs, eids in _iter_segment(segment, chunk_size):
-                        _validate_chunk(pairs, path)
-                        cover.mark_assignment(parts, pairs, eids)
-                        edges += pairs.shape[0]
-                busy_s += perf() - t0
-                t0 = perf()
-                message = _pack_message(
-                    _MSG_COVER, index, cover.words.tobytes()
-                )
-                encode_s += perf() - t0
-                t0 = perf()
-                conn.send_bytes(message)
-                send_s += perf() - t0
-                piped += len(message)
-            for name, value in (
-                ("busy_s", busy_s), ("encode_s", encode_s),
-                ("send_s", send_s), ("edges_scanned", edges),
-                ("frames_sent", len(blocks)), ("bytes_piped", piped),
-            ):
-                span.add(name, value)
+        _run_cover(
+            conn, tracer, worker_id, segments, chunk_size, k, parts, blocks
+        )
         if trace:
             conn.send_bytes(
                 _pack_message(_MSG_TRACE, 0, pickle.dumps(tracer.drain()))
@@ -268,7 +286,88 @@ def _cover_worker_main(
         conn.close()
 
 
+# -- warm-pool job handlers (see workers.PersistentWorkerPool) ---------------
+
+
+def _count_job(context, *, segments, chunk_size: int) -> None:
+    """Counting sweep as a warm-pool job (the job loop owns trace/errors)."""
+    _run_count(
+        context.conn, context.tracer, context.worker_id, segments, chunk_size
+    )
+
+
+def _cover_job(
+    context,
+    *,
+    segments,
+    chunk_size: int,
+    k: int,
+    parts_name: str,
+    parts_shape: tuple,
+    parts_dtype: str,
+    blocks,
+) -> None:
+    """Metrics sweep as a warm-pool job.
+
+    The assignment array arrives as a read-only
+    :class:`~repro.parallel.shm.SharedArray` (named by ``parts_name``)
+    rather than pickled per job — at millions of edges the assignment
+    is the payload that made cold metrics pools expensive to spawn.
+    """
+    shared = SharedArray.attach(parts_name, tuple(parts_shape), parts_dtype)
+    try:
+        _run_cover(
+            context.conn, context.tracer, context.worker_id, segments,
+            chunk_size, k, shared.array, blocks,
+        )
+    finally:
+        shared.close()
+
+
 # -- pools ------------------------------------------------------------------
+
+
+def _merge_counts(pool: BaseWorkerPool) -> tuple[np.ndarray, int]:
+    """Sum every worker's partial degrees; returns (degrees, edges)."""
+    degrees = np.zeros(0, dtype=np.int64)
+    num_edges = 0
+    for w in range(pool.workers):
+        tag, local_n, payload = _unpack_message(pool._recv(w))
+        if tag == _MSG_ERROR:
+            _resurface_error(pool, w, payload)
+        if tag != _MSG_COUNTS:
+            raise WorkerFailureError(
+                f"{pool._describe_worker(w)}: expected a counting "
+                f"result, got {tag!r}"
+            )
+        num_edges += int(np.frombuffer(payload, dtype="<i8", count=1)[0])
+        partial = np.frombuffer(
+            payload, dtype="<i8", count=local_n, offset=8
+        )
+        if local_n > degrees.size:
+            grown = np.zeros(local_n, dtype=np.int64)
+            grown[: degrees.size] = degrees
+            degrees = grown
+        degrees[:local_n] += partial
+    return degrees, num_edges
+
+
+def _merge_cover_block(
+    pool: BaseWorkerPool, k: int, index: int, lo: int, hi: int
+) -> int:
+    """OR every worker's cover for one block; returns its set bits."""
+    merged = PackedCover(k, lo, hi)
+    for w in range(pool.workers):
+        tag, sent_index, payload = _unpack_message(pool._recv(w))
+        if tag == _MSG_ERROR:
+            _resurface_error(pool, w, payload)
+        if tag != _MSG_COVER or sent_index != index:
+            raise WorkerFailureError(
+                f"{pool._describe_worker(w)}: expected cover block "
+                f"{index}, got {tag!r} #{sent_index}"
+            )
+        merged.union_update(payload)
+    return merged.count()
 
 
 class _CountingPool(BaseWorkerPool):
@@ -285,27 +384,7 @@ class _CountingPool(BaseWorkerPool):
 
     def merge(self) -> tuple[np.ndarray, int]:
         """Sum every worker's partial degrees; returns (degrees, edges)."""
-        degrees = np.zeros(0, dtype=np.int64)
-        num_edges = 0
-        for w in range(self.workers):
-            tag, local_n, payload = _unpack_message(self._recv(w))
-            if tag == _MSG_ERROR:
-                _resurface_error(self, w, payload)
-            if tag != _MSG_COUNTS:
-                raise WorkerFailureError(
-                    f"{self._describe_worker(w)}: expected a counting "
-                    f"result, got {tag!r}"
-                )
-            num_edges += int(np.frombuffer(payload, dtype="<i8", count=1)[0])
-            partial = np.frombuffer(
-                payload, dtype="<i8", count=local_n, offset=8
-            )
-            if local_n > degrees.size:
-                grown = np.zeros(local_n, dtype=np.int64)
-                grown[: degrees.size] = degrees
-                degrees = grown
-            degrees[:local_n] += partial
-        return degrees, num_edges
+        return _merge_counts(self)
 
 
 class _CoverPool(BaseWorkerPool):
@@ -327,18 +406,7 @@ class _CoverPool(BaseWorkerPool):
 
     def merge_block(self, index: int, lo: int, hi: int) -> int:
         """OR every worker's cover for one block; returns its set bits."""
-        merged = PackedCover(self.k, lo, hi)
-        for w in range(self.workers):
-            tag, sent_index, payload = _unpack_message(self._recv(w))
-            if tag == _MSG_ERROR:
-                _resurface_error(self, w, payload)
-            if tag != _MSG_COVER or sent_index != index:
-                raise WorkerFailureError(
-                    f"{self._describe_worker(w)}: expected cover block "
-                    f"{index}, got {tag!r} #{sent_index}"
-                )
-            merged.union_update(payload)
-        return merged.count()
+        return _merge_cover_block(self, self.k, index, lo, hi)
 
 
 # -- coordinator entry points -----------------------------------------------
@@ -428,6 +496,142 @@ def parallel_chunked_quality(
     return rf, balance
 
 
+# -- warm-pool runners -------------------------------------------------------
+
+
+def _pooled_fan(
+    source, workers: int, pool: PersistentWorkerPool
+) -> tuple[tuple, list]:
+    """Plan a scan's segments for a warm pool: ``(plan, padded)``.
+
+    ``plan`` is ``(segments, planned_edges, declared_vertices)`` from
+    :func:`~repro.stream.workers.plan_worker_segments`.
+
+    The sweep fans over ``min(workers, pool size)`` streams (both
+    reductions are order-independent sums/ORs, so any fan is
+    bit-identical); spare workers get empty segment lists so every job
+    round hears from the whole pool.
+    """
+    fan = max(1, min(int(workers), pool.workers))
+    segments, _, planned_edges, declared = plan_worker_segments(source, fan)
+    padded = [list(segs) for segs in segments]
+    padded += [[] for _ in range(pool.workers - fan)]
+    return (segments, planned_edges, declared), padded
+
+
+def _pooled_scan_source(
+    source,
+    workers: int,
+    pool: PersistentWorkerPool,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> SourceStats:
+    """Counting pass on a warm pool — ≡ :func:`parallel_scan_source`.
+
+    The pool's per-frame watchdog is widened to the scan default for
+    the duration (a scan worker's first bytes arrive only after its
+    whole sweep) and restored after.
+    """
+    (_, planned_edges, declared), padded = _pooled_fan(
+        source, workers, pool
+    )
+    saved_timeout = pool.timeout
+    pool.timeout = max(saved_timeout, DEFAULT_SCAN_TIMEOUT)
+    try:
+        with get_tracer().span(
+            "pool_run", pool="count", workers=len(padded)
+        ) as span:
+            recv0 = pool.recv_wait_s
+            frames0 = pool.frames_recv
+            bytes0 = pool.bytes_recv
+            pool.submit(
+                _count_job,
+                [
+                    dict(segments=segs, chunk_size=chunk_size)
+                    for segs in padded
+                ],
+                segments=padded,
+            )
+            degrees, num_edges = _merge_counts(pool)
+            pool.collect_worker_spans()
+            span.add("recv_wait_s", pool.recv_wait_s - recv0)
+            span.add("frames_sent", pool.frames_recv - frames0)
+            span.add("bytes_piped", pool.bytes_recv - bytes0)
+    finally:
+        pool.timeout = saved_timeout
+    if num_edges != planned_edges:
+        raise GraphFormatError(
+            f"{source}: parallel counting pass saw {num_edges} edges but "
+            f"the source declares {planned_edges}; it changed on disk"
+        )
+    return finalize_source_stats(degrees, num_edges, declared, str(source))
+
+
+def _pooled_chunked_quality(
+    source,
+    stats: SourceStats,
+    k: int,
+    parts: np.ndarray,
+    workers: int,
+    pool: PersistentWorkerPool,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    memory_budget: int | None = None,
+) -> tuple[float, float]:
+    """Metrics pass on a warm pool — ≡ :func:`parallel_chunked_quality`.
+
+    The assignment is published once as a shared segment instead of
+    being pickled into every spawn; it is closed and unlinked before
+    returning on every path.
+    """
+    sizes = np.bincount(parts[parts >= 0], minlength=k)
+    if stats.num_edges == 0:
+        return 0.0, 1.0
+    blocks = plan_cover_blocks(stats.num_vertices, k, memory_budget)
+    _, padded = _pooled_fan(source, workers, pool)
+    parts = np.ascontiguousarray(parts)
+    shared_parts = SharedArray.create(parts)
+    replicas = 0
+    saved_timeout = pool.timeout
+    pool.timeout = max(saved_timeout, DEFAULT_SCAN_TIMEOUT)
+    try:
+        with get_tracer().span(
+            "pool_run", pool="cover", workers=len(padded),
+            blocks=len(blocks),
+        ) as span:
+            recv0 = pool.recv_wait_s
+            frames0 = pool.frames_recv
+            bytes0 = pool.bytes_recv
+            pool.submit(
+                _cover_job,
+                [
+                    dict(
+                        segments=segs,
+                        chunk_size=chunk_size,
+                        k=k,
+                        parts_name=shared_parts.name,
+                        parts_shape=tuple(parts.shape),
+                        parts_dtype=str(parts.dtype),
+                        blocks=list(blocks),
+                    )
+                    for segs in padded
+                ],
+                segments=padded,
+            )
+            for index, (lo, hi) in enumerate(blocks):
+                replicas += _merge_cover_block(pool, k, index, lo, hi)
+            pool.collect_worker_spans()
+            span.add("recv_wait_s", pool.recv_wait_s - recv0)
+            span.add("frames_sent", pool.frames_recv - frames0)
+            span.add("bytes_piped", pool.bytes_recv - bytes0)
+    finally:
+        pool.timeout = saved_timeout
+        shared_parts.close()
+        shared_parts.unlink()
+    covered = int((stats.degrees > 0).sum())
+    rf = float(replicas / covered) if covered else 0.0
+    balance = float(sizes.max() / (stats.num_edges / k))
+    return rf, balance
+
+
 # -- front doors (what the drivers call) ------------------------------------
 
 
@@ -438,17 +642,22 @@ def scan_stats(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     mp_context: str | None = None,
     timeout: float = DEFAULT_SCAN_TIMEOUT,
+    pool: "PersistentWorkerPool | None" = None,
 ) -> SourceStats:
     """Counting pass, parallel when it can be: the drivers' front door.
 
     ``source`` is the caller's original source argument (used to plan
     worker segments when it is segmentable), ``opened`` the chunk
     source already opened from it (used for the sequential fallback, so
-    prefetch/mmap wrappers keep serving the sequential path).
+    prefetch/mmap wrappers keep serving the sequential path).  A warm
+    ``pool`` reuses already-spawned workers instead of forking a
+    one-shot pool (same result, bit for bit).
     """
     parallel = effective_scan_workers(source, workers)
     with get_tracer().span("count_pass", workers=parallel) as span:
-        if parallel:
+        if parallel and pool is not None:
+            stats = _pooled_scan_source(source, workers, pool, chunk_size)
+        elif parallel:
             stats = parallel_scan_source(
                 source, workers, chunk_size, mp_context=mp_context,
                 timeout=timeout,
@@ -470,11 +679,17 @@ def scan_quality(
     memory_budget: int | None = None,
     mp_context: str | None = None,
     timeout: float = DEFAULT_SCAN_TIMEOUT,
+    pool: "PersistentWorkerPool | None" = None,
 ) -> tuple[float, float]:
     """Metrics pass, parallel when it can be: the drivers' front door."""
     parallel = effective_scan_workers(source, workers)
     with get_tracer().span("metrics_pass", workers=parallel) as span:
-        if parallel:
+        if parallel and pool is not None:
+            quality = _pooled_chunked_quality(
+                source, stats, k, parts, workers, pool, chunk_size,
+                memory_budget=memory_budget,
+            )
+        elif parallel:
             quality = parallel_chunked_quality(
                 source, stats, k, parts, workers, chunk_size,
                 memory_budget=memory_budget, mp_context=mp_context,

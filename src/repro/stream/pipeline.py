@@ -180,19 +180,29 @@ class OutOfCoreHep:
         self.order = order
         self.seed = seed
         self.last_result: OutOfCoreResult | None = None
+        self._warm_pool = None
         self.name = "HEP-ooc"
 
     # -- driver ------------------------------------------------------------
+
+    def _start_warm_pool(self, source):
+        """Hook: start a warm worker pool for the run, or return ``None``.
+
+        The base pipeline runs its sweeps sequentially or on cold pools,
+        so it returns ``None``.  :class:`~repro.stream.workers.
+        MultiWorkerHep` overrides this to return a started
+        :class:`~repro.stream.workers.PersistentWorkerPool` that the
+        counting pass, the phase-two stream, and the metrics pass all
+        reuse; :meth:`partition` stashes it as ``_warm_pool`` and shuts
+        it down when the run ends.
+        """
+        return None
 
     def partition(self, source, k: int) -> OutOfCoreResult:
         """Run the full pipeline; ``source`` is anything
         :func:`~repro.stream.reader.open_edge_source` accepts."""
         if k < 2:
             raise ConfigurationError(f"out-of-core HEP requires k >= 2, got {k}")
-        # Deferred: parallel_scan -> workers -> this module (MultiWorkerHep
-        # subclasses OutOfCoreHep), so a top-level import would cycle.
-        from repro.stream.parallel_scan import scan_quality, scan_stats
-
         tracer = get_tracer()
         start = time.perf_counter()
         with tracer.span(
@@ -207,70 +217,89 @@ class OutOfCoreHep:
             # MultiWorkerHep carries a start-method choice for its BSP pool;
             # the scan pools must honor the same one (fork-unsafe hosts).
             mp_context = getattr(self, "mp_context", None)
-            stats = scan_stats(
-                source, src, self.metrics_workers, self.chunk_size,
-                mp_context=mp_context,
-            )
-            if stats.num_edges == 0:
-                raise PartitioningError(
-                    "out-of-core HEP: edge stream is empty"
+            warm = self._start_warm_pool(source)
+            self._warm_pool = warm
+            try:
+                return self._partition_with_pool(
+                    source, src, k, warm, mp_context, tracer, start,
                 )
+            finally:
+                self._warm_pool = None
+                if warm is not None:
+                    warm.shutdown()
 
-            projected: int | None = None
-            if self.tau is not None:
-                tau = self.tau
-            elif self.memory_budget is not None:
-                with tracer.span("select_tau", budget=self.memory_budget):
-                    tau, projected = self._select_tau(src, stats, k)
-            else:
-                tau = 10.0
+    def _partition_with_pool(
+        self, source, src, k: int, warm, mp_context, tracer, start: float
+    ) -> OutOfCoreResult:
+        """Pipeline body once the source and (optional) warm pool exist."""
+        # Deferred: parallel_scan -> workers -> this module (MultiWorkerHep
+        # subclasses OutOfCoreHep), so a top-level import would cycle.
+        from repro.stream.parallel_scan import scan_quality, scan_stats
 
-            threshold = tau * stats.mean_degree
-            high = stats.degrees > threshold
+        stats = scan_stats(
+            source, src, self.metrics_workers, self.chunk_size,
+            mp_context=mp_context, pool=warm,
+        )
+        if stats.num_edges == 0:
+            raise PartitioningError(
+                "out-of-core HEP: edge stream is empty"
+            )
 
-            with SpillFile(
-                dir=self.spill_dir, compression=self.spill_compression
-            ) as spill:
-                with tracer.span("split_pass", tau=tau) as span:
-                    csr = self._split_and_build(src, stats, high, spill)
-                    span.add("edges_scanned", stats.num_edges)
+        projected: int | None = None
+        if self.tau is not None:
+            tau = self.tau
+        elif self.memory_budget is not None:
+            with tracer.span("select_tau", budget=self.memory_budget):
+                tau, projected = self._select_tau(src, stats, k)
+        else:
+            tau = 10.0
+
+        threshold = tau * stats.mean_degree
+        high = stats.degrees > threshold
+
+        with SpillFile(
+            dir=self.spill_dir, compression=self.spill_compression
+        ) as spill:
+            with tracer.span("split_pass", tau=tau) as span:
+                csr = self._split_and_build(src, stats, high, spill)
+                span.add("edges_scanned", stats.num_edges)
+                span.add("spill_bytes", spill.nbytes)
+            with tracer.span("phase_one", k=k):
+                phase_one = run_ne_plus_plus_on_csr(csr, k, tau=tau)
+            parts = phase_one.parts
+            loads = phase_one.loads.copy()
+            if len(spill):
+                with tracer.span(
+                    "stream_pass", phase="spill"
+                ) as span:
+                    loads = self._stream_spill(
+                        spill, stats, k, phase_one, parts
+                    )
+                    span.add("edges_scanned", len(spill))
                     span.add("spill_bytes", spill.nbytes)
-                with tracer.span("phase_one", k=k):
-                    phase_one = run_ne_plus_plus_on_csr(csr, k, tau=tau)
-                parts = phase_one.parts
-                loads = phase_one.loads.copy()
-                if len(spill):
-                    with tracer.span(
-                        "stream_pass", phase="spill"
-                    ) as span:
-                        loads = self._stream_spill(
-                            spill, stats, k, phase_one, parts
-                        )
-                        span.add("edges_scanned", len(spill))
-                        span.add("spill_bytes", spill.nbytes)
-                spill_bytes = spill.nbytes
-                num_h2h = len(spill)
+            spill_bytes = spill.nbytes
+            num_h2h = len(spill)
 
-            breakdown = HepPhaseBreakdown(
-                num_edges=stats.num_edges,
-                num_h2h_edges=num_h2h,
-                num_inmemory_edges=stats.num_edges - num_h2h,
-                cleanup_removed_fraction=(
-                    phase_one.stats.cleanup_removed_fraction
-                ),
-                spilled_edges=phase_one.stats.spilled_edges,
+        breakdown = HepPhaseBreakdown(
+            num_edges=stats.num_edges,
+            num_h2h_edges=num_h2h,
+            num_inmemory_edges=stats.num_edges - num_h2h,
+            cleanup_removed_fraction=(
+                phase_one.stats.cleanup_removed_fraction
+            ),
+            spilled_edges=phase_one.stats.spilled_edges,
+        )
+        rf, balance = scan_quality(
+            source, src, stats, k, parts, self.metrics_workers,
+            self.chunk_size, memory_budget=self.memory_budget,
+            mp_context=mp_context, pool=warm,
+        )
+        source_stats = src.stats()
+        if tracer.enabled and source_stats:
+            tracer.event(
+                "source_read", counters=source_stats,
+                source=src.describe(),
             )
-            rf, balance = scan_quality(
-                source, src, stats, k, parts, self.metrics_workers,
-                self.chunk_size, memory_budget=self.memory_budget,
-                mp_context=mp_context,
-            )
-            source_stats = src.stats()
-            if tracer.enabled and source_stats:
-                tracer.event(
-                    "source_read", counters=source_stats,
-                    source=src.describe(),
-                )
         result = OutOfCoreResult(
             parts=parts,
             k=k,

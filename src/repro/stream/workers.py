@@ -68,6 +68,7 @@ from repro.errors import (
 )
 from repro.obs.tracer import get_tracer, install_collecting_tracer
 from repro.parallel.kernel import (
+    FusedBatchScorer,
     apply_batch,
     apply_delta,
     contiguous_streams,
@@ -76,6 +77,7 @@ from repro.parallel.kernel import (
     shard_round_robin_streams,
     superstep_is_safe,
 )
+from repro.parallel.shm import SharedState
 from repro.partition.base import capacity_bound
 from repro.partition.state import StreamingState
 from repro.stream.pipeline import OutOfCoreHep
@@ -101,6 +103,7 @@ __all__ = [
     "EdgeSegment",
     "BaseWorkerPool",
     "WorkerPool",
+    "PersistentWorkerPool",
     "StateService",
     "MultiWorkerReport",
     "MultiWorkerResult",
@@ -108,6 +111,7 @@ __all__ = [
     "MultiWorkerHep",
     "WorkerTimings",
     "plan_worker_segments",
+    "run_bsp_shared",
     "split_spill_round_robin",
     "DEFAULT_WORKER_BATCH",
     "DEFAULT_WORKER_TIMEOUT",
@@ -129,6 +133,11 @@ _MSG_DONE = b"D"    # worker -> coord: stream exhausted (+ busy/wait/send f64s)
 _MSG_ERROR = b"E"   # worker -> coord: pickled (type name, message)
 _MSG_DELTA = b"M"   # coord -> worker: merged (u, v, p) triples
 _MSG_TRACE = b"T"   # worker -> coord: pickled trace records (final message)
+
+# warm-pool / shared-memory control frames (empty or tiny payloads)
+_MSG_JOB = b"J"       # coord -> worker: pickled (handler, kwargs) job
+_MSG_SHUTDOWN = b"Q"  # coord -> worker: leave the job loop, exit cleanly
+_MSG_COMMIT = b"K"    # coord -> worker: barrier done; count = published index
 
 #: layout of the timing payload a worker attaches to its DONE message
 _DONE_TIMINGS = np.dtype("<f8")
@@ -433,6 +442,183 @@ def _worker_main(
         conn.close()
 
 
+# -- warm workers (job loop) ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _JobContext:
+    """What a job handler receives from the warm worker's job loop."""
+
+    worker_id: int
+    conn: object           # this worker's pipe end to the coordinator
+    tracer: object         # the worker-process tracer (may be the null one)
+
+
+def _job_worker_main(
+    worker_id: int,
+    pipes: list,
+    segments: Sequence[EdgeSegment],
+    trace: bool = False,
+) -> None:
+    """Entry point of one *warm* worker: run pickled jobs until shutdown.
+
+    The pool spawns these once and then :meth:`PersistentWorkerPool.
+    submit`\\ s any number of jobs — a job is a pickled ``(handler,
+    kwargs)`` pair, and the handler owns whatever pipe protocol it needs
+    (BSP supersteps, one-shot count/cover sweeps, ...).  ``segments`` is
+    unused (jobs carry their own work); it exists so the spawn signature
+    matches :class:`BaseWorkerPool`'s.
+
+    After each successful job the worker ships its drained trace records
+    (when tracing) so the coordinator can adopt them per job.  A failed
+    job forwards one ``ERROR`` message and exits — protocol state after
+    a mid-job exception is unknowable, so the process does not outlive
+    it.
+    """
+    conn = _claim_pipe(worker_id, pipes)
+    tracer = install_collecting_tracer(trace)
+    context = _JobContext(worker_id, conn, tracer)
+    try:
+        while True:
+            try:
+                blob = conn.recv_bytes()
+            except (EOFError, OSError):
+                break  # coordinator dropped the pipe: quiet exit
+            tag, _, payload = _unpack_message(blob)
+            if tag == _MSG_SHUTDOWN:
+                break
+            if tag != _MSG_JOB:
+                raise WorkerFailureError(
+                    f"worker {worker_id}: expected a job frame, got {tag!r}"
+                )
+            handler, kwargs = pickle.loads(bytes(payload))
+            handler(context, **kwargs)
+            if trace:
+                conn.send_bytes(
+                    _pack_message(_MSG_TRACE, 0, pickle.dumps(tracer.drain()))
+                )
+    except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
+        try:
+            conn.send_bytes(
+                _pack_message(
+                    _MSG_ERROR, 0,
+                    pickle.dumps((type(exc).__name__, str(exc))),
+                )
+            )
+        except OSError:
+            pass  # coordinator already gone; exit quietly
+    finally:
+        conn.close()
+
+
+def _stream_shared_job(
+    context: _JobContext,
+    *,
+    segments: Sequence[EdgeSegment],
+    shm_name: str,
+    num_vertices: int,
+    k: int,
+    capacity: int,
+    workers: int,
+    batch: int,
+    lam: float,
+    eps: float,
+    chunk_size: int,
+) -> None:
+    """One worker's half of a shared-memory BSP run (see run_bsp_shared).
+
+    Instead of holding a private snapshot copy and applying every merged
+    delta (the pipe protocol), the worker maps the coordinator's
+    :class:`~repro.parallel.shm.SharedState` segment and simply *reads*
+    the published snapshot each superstep — the commit frame's count
+    field names the buffer that is current.  Batches are written to this
+    worker's scratch lane; the pipe carries only empty ``BATCH``/
+    ``SCORES`` control frames.  Scoring runs through the fused
+    :class:`~repro.parallel.kernel.FusedBatchScorer` (bitwise equal to
+    the reference kernel).
+    """
+    conn = context.conn
+    perf = time.perf_counter
+    shared = None
+    replicas = loads = degrees = None
+    try:
+        with context.tracer.span(
+            "shm_attach", worker=context.worker_id
+        ) as span:
+            shared = SharedState.attach(
+                shm_name, num_vertices, k, workers, batch
+            )
+            span.add("shm_bytes", shared.nbytes)
+        scorer = FusedBatchScorer(k, batch, lam, eps)
+        degrees = shared.degrees
+        published = 0
+        read_s = score_s = encode_s = send_s = wait_s = 0.0
+        edges = frames = piped = 0
+        with context.tracer.span(
+            "worker_stream", worker=context.worker_id, protocol="shm"
+        ) as span:
+            batches = _iter_batches(segments, batch, chunk_size)
+            while True:
+                t0 = perf()
+                step = next(batches, None)
+                read_s += perf() - t0
+                if step is None:
+                    break
+                us, vs, eids = step
+                t0 = perf()
+                replicas, loads = shared.snapshot(published)
+                safe = superstep_is_safe(loads, workers, batch, capacity)
+                scores = scorer.scores(replicas, loads, degrees, us, vs)
+                score_s += perf() - t0
+                # Lane writes play the pipe path's encode role.
+                t0 = perf()
+                if safe:
+                    ps = np.argmax(scores, axis=1)
+                    shared.write_batch(
+                        context.worker_id, eids, us, vs, ps=ps
+                    )
+                    message = _pack_message(_MSG_BATCH, us.shape[0])
+                else:
+                    shared.write_batch(
+                        context.worker_id, eids, us, vs, scores=scores
+                    )
+                    message = _pack_message(_MSG_SCORES, us.shape[0])
+                encode_s += perf() - t0
+                t0 = perf()
+                conn.send_bytes(message)
+                send_s += perf() - t0
+                t0 = perf()
+                blob = conn.recv_bytes()
+                wait_s += perf() - t0
+                tag, count, _ = _unpack_message(blob)
+                if tag != _MSG_COMMIT:
+                    raise WorkerFailureError(
+                        f"worker {context.worker_id}: expected a commit, "
+                        f"got {tag!r}"
+                    )
+                published = count
+                edges += us.shape[0]
+                frames += 1
+                piped += len(message) + len(blob)
+            busy_s = read_s + score_s
+            for name, value in (
+                ("busy_s", busy_s), ("read_s", read_s),
+                ("score_s", score_s), ("encode_s", encode_s),
+                ("send_s", send_s), ("wait_s", wait_s),
+                ("edges_scanned", edges), ("frames_sent", frames),
+                ("bytes_piped", piped),
+            ):
+                span.add(name, value)
+        timings = np.array([busy_s, wait_s, send_s], dtype=_DONE_TIMINGS)
+        conn.send_bytes(_pack_message(_MSG_DONE, 0, timings.tobytes()))
+    finally:
+        # Drop the snapshot views before unmapping so the segment closes
+        # without pinned-buffer noise; the name is the coordinator's.
+        replicas = loads = degrees = None  # noqa: F841
+        if shared is not None:
+            shared.close()
+
+
 # -- coordinator ------------------------------------------------------------
 
 
@@ -528,18 +714,42 @@ class StateService:
         payload: memoryview,
         safe: bool,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Commit one worker's batch; returns ``(us, vs, ps)`` for the delta."""
+        """Decode one pipe-protocol batch payload and commit it."""
         triple_bytes = count * 3 * _TRIPLE.itemsize
         eids, us, vs = _unpack_triples(payload[:triple_bytes], count)
+        if tag == _MSG_BATCH:
+            extra = np.frombuffer(
+                payload[triple_bytes:], dtype=_TRIPLE, count=count
+            )
+        else:
+            extra = np.frombuffer(
+                payload[triple_bytes:], dtype="<f8", count=count * self.state.k
+            ).reshape(count, self.state.k)
+        return self.merge_arrays(worker_id, tag, eids, us, vs, extra, safe)
+
+    def merge_arrays(
+        self,
+        worker_id: int,
+        tag: bytes,
+        eids: np.ndarray,
+        us: np.ndarray,
+        vs: np.ndarray,
+        extra: np.ndarray,
+        safe: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Commit one worker's batch; returns ``(us, vs, ps)`` for the delta.
+
+        ``extra`` is the chosen-partition vector (:data:`_MSG_BATCH`) or
+        the ``count × k`` score matrix (:data:`_MSG_SCORES`) — decoded
+        pipe payloads and shared-memory lane views land here alike.
+        """
         if tag == _MSG_BATCH:
             if not safe:
                 raise WorkerFailureError(
                     f"protocol divergence: worker {worker_id} took the "
                     f"fast path in a near-capacity superstep"
                 )
-            ps = np.frombuffer(
-                payload[triple_bytes:], dtype=_TRIPLE, count=count
-            )
+            ps = extra
             apply_batch(self.state, us, vs, ps)
         else:
             if safe:
@@ -547,12 +757,9 @@ class StateService:
                     f"protocol divergence: worker {worker_id} sent scores "
                     f"in a safe superstep"
                 )
-            scores = np.frombuffer(
-                payload[triple_bytes:], dtype="<f8", count=count * self.state.k
-            ).reshape(count, self.state.k)
-            ps = place_batch_serialized(self.state, us, vs, scores)
+            ps = place_batch_serialized(self.state, us, vs, extra)
         self.parts[eids] = ps
-        self.edges_streamed += count
+        self.edges_streamed += eids.shape[0]
         return us, vs, ps
 
 
@@ -961,6 +1168,308 @@ class WorkerPool(BaseWorkerPool):
         )
 
 
+class PersistentWorkerPool(BaseWorkerPool):
+    """Warm worker processes: spawn once, run many jobs, shut down once.
+
+    Where :class:`WorkerPool` forks per BSP run, this pool keeps its
+    processes alive across jobs — the counting pass, the streaming
+    phase, and the metrics pass of one partition run (or many runs) all
+    reuse the same workers, so the spawn tax is paid once.  A job is a
+    module-level handler plus kwargs, pickled into one
+    :data:`_MSG_JOB` frame; the handler owns the pipe protocol from
+    there (:func:`_stream_shared_job` drives BSP supersteps, the
+    handlers in :mod:`repro.stream.parallel_scan` run one-shot sweeps).
+
+    ``timeout`` is per received frame, exactly as in the one-shot
+    pools; callers running long uninterrupted sweeps (the scan front
+    doors) temporarily widen it around their job.
+    """
+
+    _worker_target = staticmethod(_job_worker_main)
+
+    def __init__(
+        self,
+        workers: int,
+        mp_context: str | None = None,
+        timeout: float = DEFAULT_WORKER_TIMEOUT,
+    ) -> None:
+        """Size the pool; :meth:`start` spawns the processes."""
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        super().__init__(
+            [[] for _ in range(int(workers))],
+            mp_context=mp_context,
+            timeout=timeout,
+        )
+
+    def _spawn_args(self, worker_id: int) -> tuple:
+        """Warm workers take no spawn args — jobs carry everything."""
+        return ()
+
+    def submit(
+        self,
+        handler,
+        kwargs_per_worker: Sequence[dict],
+        segments: "Sequence[Sequence[EdgeSegment]] | None" = None,
+    ) -> None:
+        """Send one ``(handler, kwargs)`` job to every worker.
+
+        ``handler`` must be a module-level callable (pickled by
+        reference) taking a :class:`_JobContext` plus its kwargs.
+        ``segments`` optionally records what each worker is sweeping so
+        failure messages can name it.
+        """
+        if not self._procs:
+            raise ConfigurationError("submit() before start()")
+        if len(kwargs_per_worker) != self.workers:
+            raise ConfigurationError(
+                f"submit() needs kwargs for all {self.workers} workers, "
+                f"got {len(kwargs_per_worker)}"
+            )
+        if segments is not None:
+            self.worker_segments = [list(segs) for segs in segments]
+        for w, kwargs in enumerate(kwargs_per_worker):
+            frame = _pack_message(
+                _MSG_JOB, 0, pickle.dumps((handler, kwargs))
+            )
+            try:
+                self._conns[w].send_bytes(frame)
+            except (BrokenPipeError, OSError):
+                raise self._worker_died(w) from None
+
+    def shutdown(self) -> None:
+        """Ask the job loops to exit, join briefly, then tear down.
+
+        Idempotent, and safe after failures: workers that already died
+        are skipped and :meth:`BaseWorkerPool.close` terminates any
+        straggler.
+        """
+        for conn in self._conns:
+            try:
+                conn.send_bytes(_pack_message(_MSG_SHUTDOWN, 0))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        self.close()
+
+
+def run_bsp_shared(
+    pool: PersistentWorkerPool,
+    segments: Sequence[Sequence[EdgeSegment]],
+    state: StreamingState,
+    parts: np.ndarray,
+    batch: int = DEFAULT_WORKER_BATCH,
+    lam: float = 1.1,
+    eps: float = 1.0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> MultiWorkerReport:
+    """Drive one shared-memory BSP streaming run on a warm pool.
+
+    The shared-state sibling of :meth:`WorkerPool.run`, bit-identical to
+    it (and to the in-process ``bsp_hdrf_stream``) for the same
+    ``segments``/``batch``: the schedule is ``len(segments)`` streams
+    wide regardless of pool size (spare workers get empty segment lists
+    and report DONE immediately), merges happen in worker order, and the
+    fast/slow path split is the same deterministic predicate.
+
+    What changes is the data plane: worker batches land in per-worker
+    scratch lanes of one :class:`~repro.parallel.shm.SharedState`
+    segment and the merged delta is *not* broadcast — the coordinator
+    folds it into the double-buffered snapshot
+    (:meth:`~repro.parallel.shm.SharedState.commit`) and releases the
+    workers with an empty ``COMMIT`` frame naming the published buffer.
+    Workers therefore skip the pipe path's per-worker delta apply
+    entirely, and pipes carry only control frames.
+
+    Mutates ``state`` and ``parts``; the segment is closed and unlinked
+    on every exit path.  Worker failures surface as one
+    :class:`~repro.errors.WorkerFailureError` (the caller owns pool
+    teardown, normally via :meth:`PersistentWorkerPool.shutdown`).
+    """
+    if batch < 1:
+        raise ConfigurationError(f"batch must be >= 1, got {batch}")
+    workers = len(segments)
+    if workers < 1:
+        raise ConfigurationError("run_bsp_shared needs >= 1 segment list")
+    if workers > pool.workers:
+        raise ConfigurationError(
+            f"schedule is {workers} streams wide but the pool has only "
+            f"{pool.workers} workers"
+        )
+    padded = [list(segs) for segs in segments]
+    padded += [[] for _ in range(pool.workers - workers)]
+    tracer = get_tracer()
+    perf = time.perf_counter
+    with tracer.span(
+        "shm_attach", side="coordinator", workers=workers, batch=batch
+    ) as span:
+        shared = SharedState.create(
+            state.num_vertices, state.k, workers, batch,
+            state.degrees, state.replicas, state.loads,
+        )
+        span.add("shm_bytes", shared.nbytes)
+    service = StateService(state, parts, workers, batch)
+    supersteps = fast = slow = 0
+    merge_s = commit_s = encode_s = send_s = 0.0
+    frames_sent = bytes_sent = 0
+    first_commit_at = 0.0
+    worker_timings: dict[int, tuple[float, float, float]] = {}
+    # The pool's receive counters are cumulative across jobs; report
+    # this run's deltas.
+    recv0 = pool.recv_wait_s
+    frames0 = pool.frames_recv
+    bytes0 = pool.bytes_recv
+    try:
+        with tracer.span(
+            "pool_run", pool="bsp-shm", workers=workers, batch=batch,
+        ) as span:
+            pool.submit(
+                _stream_shared_job,
+                [
+                    dict(
+                        segments=padded[w],
+                        shm_name=shared.name,
+                        num_vertices=state.num_vertices,
+                        k=state.k,
+                        capacity=state.capacity,
+                        workers=workers,
+                        batch=batch,
+                        lam=lam,
+                        eps=eps,
+                        chunk_size=chunk_size,
+                    )
+                    for w in range(pool.workers)
+                ],
+                segments=padded,
+            )
+            active = list(range(pool.workers))
+            while active:
+                safe = service.begin_superstep()
+                messages = []
+                for w in active:
+                    tag, count, payload = _unpack_message(pool._recv(w))
+                    messages.append((w, tag, count, payload))
+                delta_us: list[np.ndarray] = []
+                delta_vs: list[np.ndarray] = []
+                delta_ps: list[np.ndarray] = []
+                senders: list[int] = []
+                for w, tag, count, payload in messages:
+                    if tag == _MSG_DONE:
+                        active.remove(w)
+                        expected = (
+                            _DONE_TIMING_FIELDS * _DONE_TIMINGS.itemsize
+                        )
+                        if len(payload) >= expected:
+                            busy, wait, send = np.frombuffer(
+                                payload, dtype=_DONE_TIMINGS,
+                                count=_DONE_TIMING_FIELDS,
+                            )
+                            worker_timings[w] = (
+                                float(busy), float(wait), float(send)
+                            )
+                        continue
+                    if tag == _MSG_ERROR:
+                        pool._raise_worker_error(w, payload)
+                    t0 = perf()
+                    eids, us, vs, extra = shared.read_batch(
+                        w, count, slow=tag == _MSG_SCORES
+                    )
+                    us, vs, ps = service.merge_arrays(
+                        w, tag, eids, us, vs, extra, safe
+                    )
+                    merge_s += perf() - t0
+                    delta_us.append(us)
+                    delta_vs.append(vs)
+                    delta_ps.append(ps)
+                    senders.append(w)
+                if not senders:
+                    continue
+                supersteps += 1
+                if safe:
+                    fast += 1
+                else:
+                    slow += 1
+                if not first_commit_at:
+                    first_commit_at = time.time()
+                t0 = perf()
+                # np.concatenate always copies, so the commit never
+                # holds a lane view across the frame that lets workers
+                # overwrite their lanes.
+                published = shared.commit(
+                    np.concatenate(delta_us),
+                    np.concatenate(delta_vs),
+                    np.concatenate(delta_ps),
+                )
+                commit_s += perf() - t0
+                t0 = perf()
+                frame = _pack_message(_MSG_COMMIT, published)
+                encode_s += perf() - t0
+                t0 = perf()
+                for w in senders:
+                    try:
+                        pool._conns[w].send_bytes(frame)
+                    except (BrokenPipeError, OSError):
+                        raise pool._worker_died(w) from None
+                send_s += perf() - t0
+                frames_sent += len(senders)
+                bytes_sent += len(frame) * len(senders)
+            pool.collect_worker_spans()
+            if tracer.enabled and supersteps:
+                # One aggregate span (a per-superstep span per commit
+                # would dwarf the trace); dur_s is the measured total.
+                tracer.adopt([{
+                    "type": "span", "id": 0, "parent": None,
+                    "name": "superstep_commit", "start": first_commit_at,
+                    "dur_s": commit_s,
+                    "attrs": {"side": "coordinator"},
+                    "counters": {"supersteps": supersteps},
+                }])
+            for name, value in (
+                ("recv_wait_s", pool.recv_wait_s - recv0),
+                ("merge_s", merge_s), ("commit_s", commit_s),
+                ("encode_s", encode_s), ("send_s", send_s),
+                ("supersteps", supersteps),
+                ("frames_sent", pool.frames_recv - frames0 + frames_sent),
+                ("bytes_piped", pool.bytes_recv - bytes0 + bytes_sent),
+            ):
+                span.add(name, value)
+    finally:
+        # On the failure path the propagating traceback pins this frame;
+        # null the lane views it may hold (the per-worker reads and the
+        # fast-path delta lists) so the segment can unmap.
+        eids = us = vs = extra = None  # noqa: F841
+        delta_us = delta_vs = delta_ps = None  # noqa: F841
+        shared.close()
+        shared.unlink()
+    timings = WorkerTimings(
+        busy_s=tuple(
+            worker_timings.get(w, (0.0, 0.0, 0.0))[0]
+            for w in range(workers)
+        ),
+        wait_s=tuple(
+            worker_timings.get(w, (0.0, 0.0, 0.0))[1]
+            for w in range(workers)
+        ),
+        send_s=tuple(
+            worker_timings.get(w, (0.0, 0.0, 0.0))[2]
+            for w in range(workers)
+        ),
+        coordinator_recv_s=pool.recv_wait_s - recv0,
+        coordinator_merge_s=merge_s + commit_s,
+        coordinator_send_s=send_s,
+    )
+    return MultiWorkerReport(
+        workers=workers,
+        batch=batch,
+        supersteps=supersteps,
+        edges_streamed=service.edges_streamed,
+        fast_supersteps=fast,
+        slow_supersteps=slow,
+        timings=timings,
+    )
+
+
 # -- planning ---------------------------------------------------------------
 
 
@@ -1144,6 +1653,7 @@ class MultiWorkerStreamingDriver:
         mp_context: str | None = None,
         timeout: float = DEFAULT_WORKER_TIMEOUT,
         metrics_workers: int | None = None,
+        shared_memory: bool = True,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -1163,6 +1673,9 @@ class MultiWorkerStreamingDriver:
         self.metrics_workers = (
             self.workers if metrics_workers is None else int(metrics_workers)
         )
+        # Shared-memory state + one warm pool for every pass (default);
+        # False falls back to the per-run pipe protocol.
+        self.shared_memory = bool(shared_memory)
         self.last_result: MultiWorkerResult | None = None
         self.name = f"HDRF-mw{workers}"
 
@@ -1188,35 +1701,58 @@ class MultiWorkerStreamingDriver:
                 raise PartitioningError(
                     "multi-worker HDRF: edge stream is empty"
                 )
-            src = open_edge_source(source, self.chunk_size)
-            if self.prefetch > 0:
-                src = PrefetchingEdgeSource(src, depth=self.prefetch)
-            # No timeout forwarding: self.timeout is the BSP per-superstep
-            # watchdog; the scan pools' whole-sweep default applies instead.
-            stats = scan_stats(
-                source, src, self.metrics_workers, self.chunk_size,
-                mp_context=self.mp_context,
-            )
-            capacity = capacity_bound(stats.num_edges, k, self.alpha)
-            state = StreamingState(
-                stats.num_vertices, k, capacity, exact_degrees=stats.degrees
-            )
-            parts = np.full(stats.num_edges, -1, dtype=np.int32)
-            with WorkerPool(
-                segments,
-                state,
-                batch=self.batch,
-                lam=self.lam,
-                eps=self.eps,
-                chunk_size=self.chunk_size,
-                mp_context=self.mp_context,
-                timeout=self.timeout,
-            ) as pool:
-                report = pool.run(parts)
-            rf, balance = scan_quality(
-                source, src, stats, k, parts, self.metrics_workers,
-                self.chunk_size, mp_context=self.mp_context,
-            )
+            # Warm pool (shared-memory mode): spawned once here, before
+            # any big arrays exist, and reused by the counting pass, the
+            # BSP stream, and the metrics pass alike.
+            warm: PersistentWorkerPool | None = None
+            if self.shared_memory:
+                warm = PersistentWorkerPool(
+                    self.workers, mp_context=self.mp_context,
+                    timeout=self.timeout,
+                )
+                warm.start()
+            try:
+                src = open_edge_source(source, self.chunk_size)
+                if self.prefetch > 0:
+                    src = PrefetchingEdgeSource(src, depth=self.prefetch)
+                # No timeout forwarding: self.timeout is the BSP
+                # per-superstep watchdog; the scan front doors widen the
+                # warm pool's watchdog to their whole-sweep default.
+                stats = scan_stats(
+                    source, src, self.metrics_workers, self.chunk_size,
+                    mp_context=self.mp_context, pool=warm,
+                )
+                capacity = capacity_bound(stats.num_edges, k, self.alpha)
+                state = StreamingState(
+                    stats.num_vertices, k, capacity,
+                    exact_degrees=stats.degrees,
+                )
+                parts = np.full(stats.num_edges, -1, dtype=np.int32)
+                if warm is not None:
+                    report = run_bsp_shared(
+                        warm, segments, state, parts,
+                        batch=self.batch, lam=self.lam, eps=self.eps,
+                        chunk_size=self.chunk_size,
+                    )
+                else:
+                    with WorkerPool(
+                        segments,
+                        state,
+                        batch=self.batch,
+                        lam=self.lam,
+                        eps=self.eps,
+                        chunk_size=self.chunk_size,
+                        mp_context=self.mp_context,
+                        timeout=self.timeout,
+                    ) as pool:
+                        report = pool.run(parts)
+                rf, balance = scan_quality(
+                    source, src, stats, k, parts, self.metrics_workers,
+                    self.chunk_size, mp_context=self.mp_context, pool=warm,
+                )
+            finally:
+                if warm is not None:
+                    warm.shutdown()
             source_stats = src.stats()
             if tracer.enabled and source_stats:
                 tracer.event(
@@ -1263,6 +1799,7 @@ class MultiWorkerHep(OutOfCoreHep):
         batch: int = DEFAULT_WORKER_BATCH,
         mp_context: str | None = None,
         timeout: float = DEFAULT_WORKER_TIMEOUT,
+        shared_memory: bool = True,
         **kwargs,
     ) -> None:
         if kwargs.get("buffer_size") is not None:
@@ -1281,6 +1818,7 @@ class MultiWorkerHep(OutOfCoreHep):
         self.batch = int(batch)
         self.mp_context = mp_context
         self.timeout = timeout
+        self.shared_memory = bool(shared_memory)
         self.last_report: MultiWorkerReport | None = None
         self.name = f"HEP-mw{workers}"
 
@@ -1288,6 +1826,23 @@ class MultiWorkerHep(OutOfCoreHep):
         """Run the pipeline; ``last_report`` reflects only this run."""
         self.last_report = None
         return super().partition(source, k)
+
+    def _start_warm_pool(self, source) -> "PersistentWorkerPool | None":
+        """Spawn the warm pool every pass of this run shares.
+
+        The pipeline stashes it as ``_warm_pool``, hands it to the
+        counting/metrics front doors, and shuts it down when the run
+        ends; :meth:`_stream_spill` runs phase two on it over shared
+        memory.  ``shared_memory=False`` returns ``None`` — every pass
+        then uses the per-run pipe pools.
+        """
+        if not self.shared_memory:
+            return None
+        pool = PersistentWorkerPool(
+            self.workers, mp_context=self.mp_context, timeout=self.timeout
+        )
+        pool.start()
+        return pool
 
     def _stream_spill(
         self,
@@ -1323,15 +1878,23 @@ class MultiWorkerHep(OutOfCoreHep):
                 )
                 span.add("spill_bytes", spill.nbytes)
                 span.add("spill_records", len(spill))
-            with WorkerPool(
-                segments,
-                state,
-                batch=self.batch,
-                lam=self.lam,
-                eps=self.eps,
-                chunk_size=self.chunk_size,
-                mp_context=self.mp_context,
-                timeout=self.timeout,
-            ) as pool:
-                self.last_report = pool.run(parts)
+            warm = getattr(self, "_warm_pool", None)
+            if warm is not None:
+                self.last_report = run_bsp_shared(
+                    warm, segments, state, parts,
+                    batch=self.batch, lam=self.lam, eps=self.eps,
+                    chunk_size=self.chunk_size,
+                )
+            else:
+                with WorkerPool(
+                    segments,
+                    state,
+                    batch=self.batch,
+                    lam=self.lam,
+                    eps=self.eps,
+                    chunk_size=self.chunk_size,
+                    mp_context=self.mp_context,
+                    timeout=self.timeout,
+                ) as pool:
+                    self.last_report = pool.run(parts)
         return state.loads

@@ -3,8 +3,18 @@
 Hypothesis is tuned for determinism in CI: fixed derandomization keeps
 flaky shrink-search noise out of the suite while the explicit seeds in
 the generators keep the workloads reproducible.
+
+The session-scoped ``shm_leak_gate`` fixture is the local half of the CI
+leak gate: every shared-memory segment the suite creates (``psm_*`` in
+``/dev/shm``) must be unlinked by the time the session ends — a survivor
+means some driver's ``finally`` failed to unlink, which on 3.10–3.12
+nothing else would ever clean up (the resource tracker is deliberately
+kept out of the loop; see :mod:`repro.parallel.shm`).
 """
 
+from pathlib import Path
+
+import pytest
 from hypothesis import HealthCheck, settings
 
 settings.register_profile(
@@ -14,3 +24,24 @@ settings.register_profile(
     deadline=None,
 )
 settings.load_profile("repro")
+
+
+def _psm_segments():
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return None
+    return {p.name for p in shm_dir.glob("psm_*")}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shm_leak_gate():
+    """Fail the session if any shared-memory segment outlives the tests."""
+    before = _psm_segments()
+    yield
+    if before is None:
+        return
+    leaked = _psm_segments() - before
+    assert not leaked, (
+        f"tests leaked shared-memory segments: {sorted(leaked)} — some "
+        f"SharedState/SharedArray owner skipped its finally unlink"
+    )

@@ -6,6 +6,7 @@ mid-superstep."""
 import multiprocessing
 import os
 import signal
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -232,4 +233,111 @@ class TestMultiWorkerFailures:
         pool.start()
         pool.close()
         pool.close()
+        assert multiprocessing.active_children() == []
+
+
+@pytest.mark.slow
+class TestWarmPoolFailures:
+    """The shared-memory path under the same injections: a warm worker
+    killed mid-superstep or a shard truncated mid-pass must surface as
+    *one* clean :class:`WorkerFailureError`, leave no orphan processes,
+    and leak no ``/dev/shm`` segment (the coordinator unlinks in its
+    ``finally`` even on the failure path)."""
+
+    @pytest.fixture()
+    def sharded(self, tmp_path):
+        from repro.stream import write_sharded_edges
+
+        graph = chung_lu(300, mean_degree=8, exponent=2.2, seed=5, name="wf")
+        manifest = write_sharded_edges(
+            graph, tmp_path / "wf.manifest.json", num_shards=4
+        )
+        return graph, manifest
+
+    @staticmethod
+    def _psm_segments():
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():
+            return None
+        return {p.name for p in shm_dir.glob("psm_*")}
+
+    def _shared_run(self, graph, manifest, pool, workers=2, batch=2):
+        from repro.partition.base import capacity_bound
+        from repro.partition.state import StreamingState
+        from repro.stream import plan_worker_segments, run_bsp_shared
+
+        segments, _, _, _ = plan_worker_segments(manifest.path, workers)
+        capacity = capacity_bound(graph.num_edges, 4, 1.0)
+        state = StreamingState(
+            graph.num_vertices, 4, capacity, exact_degrees=graph.degrees
+        )
+        parts = np.full(graph.num_edges, -1, dtype=np.int32)
+        return run_bsp_shared(
+            pool, segments, state, parts, batch=batch, chunk_size=64
+        )
+
+    def test_killed_warm_worker_raises_and_leaks_nothing(self, sharded):
+        from repro.stream import PersistentWorkerPool
+
+        graph, manifest = sharded
+        before = self._psm_segments()
+        pool = PersistentWorkerPool(2, timeout=30.0)
+        pool.start()
+        os.kill(pool.pids[1], signal.SIGKILL)
+        with pytest.raises(WorkerFailureError, match=r"worker 1 .*died"):
+            self._shared_run(graph, manifest, pool)
+        pool.shutdown()
+        assert multiprocessing.active_children() == []
+        if before is not None:
+            assert self._psm_segments() - before == set()
+
+    def test_truncated_shard_names_worker_and_shard(self, sharded):
+        from repro.stream import PersistentWorkerPool
+
+        graph, manifest = sharded
+        # Truncate shard 2 (owned by worker 0) after planning — hit
+        # mid-stream by the warm worker, like the pipe-path test above.
+        shard = manifest.shard_paths[2]
+        data = shard.read_bytes()
+        shard.write_bytes(data[: len(data) // 2 - 3])
+        before = self._psm_segments()
+        pool = PersistentWorkerPool(2, timeout=30.0)
+        try:
+            pool.start()
+            with pytest.raises(WorkerFailureError) as excinfo:
+                self._shared_run(graph, manifest, pool)
+        finally:
+            pool.shutdown()
+        message = str(excinfo.value)
+        assert "worker 0" in message
+        assert "shard-0002" in message
+        assert "GraphFormatError" in message
+        assert multiprocessing.active_children() == []
+        if before is not None:
+            assert self._psm_segments() - before == set()
+
+    def test_driver_recovers_after_warm_failure(self, sharded):
+        """A killed warm run must not poison a fresh shared-memory run."""
+        from repro.stream import MultiWorkerStreamingDriver, PersistentWorkerPool
+
+        graph, manifest = sharded
+        pool = PersistentWorkerPool(2, timeout=30.0)
+        pool.start()
+        os.kill(pool.pids[0], signal.SIGKILL)
+        with pytest.raises(WorkerFailureError):
+            self._shared_run(graph, manifest, pool)
+        pool.shutdown()
+        result = MultiWorkerStreamingDriver(workers=2, batch=4).partition(
+            manifest.path, 4
+        )
+        assert result.num_unassigned == 0
+        assert multiprocessing.active_children() == []
+
+    def test_shutdown_is_idempotent(self):
+        from repro.stream import PersistentWorkerPool
+
+        pool = PersistentWorkerPool(2)
+        pool.start()
+        pool.shutdown()
+        pool.shutdown()
         assert multiprocessing.active_children() == []

@@ -53,8 +53,15 @@ def _collected_run(driver, source, k=8):
 
 
 class TestWorkerSpanForwarding:
-    def test_two_worker_run_builds_one_tree(self, manifest):
-        driver = MultiWorkerStreamingDriver(workers=2, batch=8)
+    @pytest.mark.parametrize(
+        "shared_memory,pool_name", [(True, "bsp-shm"), (False, "bsp")]
+    )
+    def test_two_worker_run_builds_one_tree(
+        self, manifest, shared_memory, pool_name
+    ):
+        driver = MultiWorkerStreamingDriver(
+            workers=2, batch=8, shared_memory=shared_memory
+        )
         _, spans = _collected_run(driver, manifest.path)
         by_id = {s["id"]: s for s in spans}
         roots = [s for s in spans if s["parent"] is None]
@@ -76,7 +83,7 @@ class TestWorkerSpanForwarding:
         for stream in streams:
             parent = by_id[stream["parent"]]
             assert parent["name"] == "pool_run"
-            assert parent["attrs"]["pool"] == "bsp"
+            assert parent["attrs"]["pool"] == pool_name
             assert stream["counters"]["edges_scanned"] > 0
             assert stream["counters"]["busy_s"] >= 0.0
 
@@ -84,12 +91,33 @@ class TestWorkerSpanForwarding:
         assert sum(s["name"] == "worker_count" for s in spans) == 2
         assert sum(s["name"] == "worker_cover" for s in spans) == 2
 
-    def test_pool_run_carries_coordinator_counters(self, manifest):
+    def test_shared_memory_run_records_shm_spans(self, manifest):
         driver = MultiWorkerStreamingDriver(workers=2, batch=8)
+        _, spans = _collected_run(driver, manifest.path)
+        attaches = [s for s in spans if s["name"] == "shm_attach"]
+        # One coordinator-side create plus one attach per worker.
+        assert sum("worker" not in s["attrs"] for s in attaches) == 1
+        assert sorted(
+            s["attrs"]["worker"] for s in attaches if "worker" in s["attrs"]
+        ) == [0, 1]
+        assert all(s["counters"]["shm_bytes"] > 0 for s in attaches)
+        commits = [s for s in spans if s["name"] == "superstep_commit"]
+        assert len(commits) == 1
+        assert commits[0]["counters"]["supersteps"] > 0
+
+    @pytest.mark.parametrize(
+        "shared_memory,pool_name", [(True, "bsp-shm"), (False, "bsp")]
+    )
+    def test_pool_run_carries_coordinator_counters(
+        self, manifest, shared_memory, pool_name
+    ):
+        driver = MultiWorkerStreamingDriver(
+            workers=2, batch=8, shared_memory=shared_memory
+        )
         _, spans = _collected_run(driver, manifest.path)
         bsp = next(
             s for s in spans
-            if s["name"] == "pool_run" and s["attrs"]["pool"] == "bsp"
+            if s["name"] == "pool_run" and s["attrs"]["pool"] == pool_name
         )
         counters = bsp["counters"]
         assert counters["supersteps"] > 0
