@@ -27,7 +27,10 @@ Three honest effects stack:
 The measured rows land in ``results/BENCH_workers.json`` (validated by
 ``tools/check_bench_schema.py``) with per-protocol 1/2/4-worker
 wall-clock and replication factor, plus the sequential single-worker
-baseline every speedup is computed against.
+baseline every speedup is computed against, plus a PR 8 cached-vs-cold
+pair: the same 2-worker ``JobSpec`` run cold through
+:func:`repro.runtime.api.run_job` (artifact-store write included) and
+then served as a content-addressed cache hit.
 
 Like every ``bench_*`` module here, functions use the ``bench_`` prefix
 so the tier-1 test run (default ``python_functions = test*``) never
@@ -47,6 +50,7 @@ from pathlib import Path
 import pytest
 
 from repro.graph import datasets
+from repro.runtime import ArtifactStore, make_job, run_job
 from repro.stream import (
     MultiWorkerStreamingDriver,
     StreamingPartitionerDriver,
@@ -81,7 +85,7 @@ def _best_of(fn, repeats: int = _REPEATS):
     return best, result
 
 
-def bench_multi_worker_scaling(manifest, capsys):
+def bench_multi_worker_scaling(manifest, capsys, tmp_path):
     """1/2/4 workers, shared-memory vs pipes, vs the sequential driver.
 
     Emits ``results/BENCH_workers.json``.  Gates: the widest
@@ -130,6 +134,41 @@ def bench_multi_worker_scaling(manifest, capsys):
                     "speedup_vs_single_worker": seq_s / run_s,
                 }
             )
+    # Cached re-run: the same 2-worker spec served from the PR 8
+    # content-addressed artifact store instead of recomputed.  The cold
+    # row pays the full pipeline plus the store write; the cached row
+    # is one digest + load.
+    store = ArtifactStore(tmp_path / "cache")
+    spec = make_job("HDRF", manifest.path, _K, workers=2, batch=_BATCH)
+    start = time.perf_counter()
+    cold = run_job(spec, store=store)
+    cold_s = time.perf_counter() - start
+    hit_s, hit = _best_of(lambda: run_job(spec, store=store))
+    assert hit.cache_hit and store.hits >= 1
+    rows.append(
+        {
+            "driver": f"{cold.algorithm} (runtime, cold + store write)",
+            "protocol": "cold",
+            "workers": 2,
+            "batch": _BATCH,
+            "seconds": cold_s,
+            "rf": cold.replication_factor,
+            "supersteps": cold.report.supersteps,
+            "speedup_vs_single_worker": seq_s / cold_s,
+        }
+    )
+    rows.append(
+        {
+            "driver": f"{hit.algorithm} (runtime, cached)",
+            "protocol": "cached",
+            "workers": 2,
+            "batch": _BATCH,
+            "seconds": hit_s,
+            "rf": hit.replication_factor,
+            "supersteps": hit.report.supersteps,
+            "speedup_vs_single_worker": seq_s / hit_s,
+        }
+    )
     # The parallelism the shard split exposes to a multi-core host,
     # independent of this container's core count.
     _, streams, _, _ = plan_worker_segments(manifest.path, max(_WORKER_COUNTS))
@@ -182,3 +221,13 @@ def bench_multi_worker_scaling(manifest, capsys):
         )
     # Staleness must stay a modest quality cost (the BSP trade-off).
     assert widest_shm["rf"] <= rows[0]["rf"] * 1.15
+    # The cached re-run must return the identical quality for a small
+    # fraction of the cold wall-clock — otherwise the store is not
+    # actually skipping the pipeline.
+    cached_row = next(r for r in rows if r["protocol"] == "cached")
+    cold_row = next(r for r in rows if r["protocol"] == "cold")
+    assert cached_row["rf"] == cold_row["rf"]
+    assert cached_row["seconds"] * 5 <= cold_row["seconds"], (
+        f"cache hit ({cached_row['seconds']:.3f}s) is not clearly faster "
+        f"than the cold run ({cold_row['seconds']:.3f}s)"
+    )

@@ -84,6 +84,14 @@ def _load_graph(source: str) -> Graph:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
+    if args.method.lower() == "help":
+        from repro.runtime.registry import algorithm_catalog
+
+        print(algorithm_catalog())
+        return 0
+    if args.cache is not None and not args.out_of_core:
+        raise ReproError("--cache requires --out-of-core (the cache stores "
+                         "runtime job results)")
     if args.passes is not None and args.method.lower() != "restreaming":
         raise ReproError("--passes applies only to the Restreaming method")
     if args.tau is not None and args.method.upper() != "HEP":
@@ -169,13 +177,85 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _job_spec_from_args(args: argparse.Namespace):
+    """Lower the ``partition`` flag set to a runtime JobSpec.
+
+    Mirrors the legacy drivers' defaulting policies exactly: the
+    sequential HEP pipeline scans with cold pools
+    (``shared_memory=False``), the multi-worker drivers default their
+    scan parallelism to the worker count, and ``--batch`` falls back to
+    the BSP default.
+    """
+    from repro.runtime.spec import make_job
+    from repro.stream.workers import DEFAULT_WORKER_BATCH
+
+    hep = args.method.upper() == "HEP"
+    options: dict = {}
+    algo_params: dict = {}
+    if hep:
+        algo = "HEP"
+        options.update(
+            tau=args.tau,
+            memory_budget=args.memory_budget,
+            buffer_size=args.buffer_size,
+            spill_dir=args.spill_dir,
+            spill_compression=args.spill_compression,
+        )
+    else:
+        algo = args.method
+        if args.passes is not None:
+            algo_params["passes"] = args.passes
+    if args.workers is not None:
+        options.update(
+            workers=args.workers,
+            batch=(DEFAULT_WORKER_BATCH if args.batch is None
+                   else args.batch),
+            # 0 = "not set": scan with the worker count, as the
+            # multi-worker drivers always did.
+            metrics_workers=args.metrics_workers or args.workers,
+            shared_memory=args.shared_memory,
+        )
+    else:
+        options.update(
+            metrics_workers=args.metrics_workers,
+            shared_memory=False if hep else args.shared_memory,
+        )
+    return make_job(
+        algo, args.graph, args.k,
+        chunk_size=args.chunk_size,
+        prefetch=args.prefetch,
+        mmap=args.mmap,
+        algo_params=algo_params,
+        **options,
+    )
+
+
+def _make_store(args: argparse.Namespace):
+    """The ``--cache`` artifact store, or ``None`` when not asked for."""
+    if args.cache is None:
+        return None
+    from repro.runtime.store import ArtifactStore
+
+    return ArtifactStore(args.cache)
+
+
+def _print_cache(store, result) -> None:
+    """One greppable line reporting the cache outcome of this run."""
+    if store is None:
+        return
+    outcome = "hit" if result.cache_hit else "miss (stored)"
+    print(f"cache              : {outcome} job {result.job_hash[:12]} "
+          f"in {store.root}")
+
+
 def _partition_out_of_core(args: argparse.Namespace) -> int:
-    """Chunked out-of-core partitioning (``--out-of-core``): the graph
-    source is handed to the streaming subsystem unopened, so on-disk
-    edge files are never fully loaded.  ``--algo HEP`` (the default)
-    runs the budgeted HEP pipeline; any streaming baseline name runs
-    through the universal :class:`~repro.stream.driver.
-    StreamingPartitionerDriver`."""
+    """Chunked out-of-core partitioning (``--out-of-core``): the flag
+    set is lowered to a :class:`~repro.runtime.spec.JobSpec` and run by
+    :func:`repro.runtime.api.run_job`, so on-disk edge files are never
+    fully loaded.  ``--algo HEP`` (the default) plans the budgeted HEP
+    pipeline; any registered streaming baseline name plans the
+    three-stage streaming pipeline; ``--workers N`` executes on BSP
+    worker processes."""
     if args.shards_dir:
         raise ReproError("--shards-dir needs the edge list in memory; "
                          "rerun without --out-of-core to write shards")
@@ -194,16 +274,13 @@ def _partition_multi_worker(args: argparse.Namespace) -> int:
     HDRF, one worker per shard assignment.  Both are bit-identical to
     the in-process BSP schedule with the same workers/batch.
     """
-    from repro.stream import DEFAULT_WORKER_BATCH
-
     if args.workers < 1:
         raise ReproError(f"--workers must be >= 1, got {args.workers}")
-    batch = DEFAULT_WORKER_BATCH if args.batch is None else args.batch
-    if batch < 1:
-        raise ReproError(f"--batch must be >= 1, got {batch}")
+    if args.batch is not None and args.batch < 1:
+        raise ReproError(f"--batch must be >= 1, got {args.batch}")
     method = args.method.upper()
     if method == "HEP":
-        return _multi_worker_hep(args, batch)
+        return _multi_worker_hep(args)
     if method != "HDRF":
         raise ReproError(
             f"--workers supports HEP or HDRF (the BSP-parallelizable "
@@ -221,18 +298,10 @@ def _partition_multi_worker(args: argparse.Namespace) -> int:
         raise ReproError("--mmap applies to the single-reader drivers; "
                          "workers stream their shard slices with buffered "
                          "reads, so it has no effect here")
-    from repro.stream import MultiWorkerStreamingDriver
+    from repro.runtime.api import run_job
 
-    driver = MultiWorkerStreamingDriver(
-        workers=args.workers,
-        batch=batch,
-        chunk_size=args.chunk_size,
-        prefetch=args.prefetch,
-        # 0 = "not set": the driver then scans with its worker count.
-        metrics_workers=args.metrics_workers or None,
-        shared_memory=args.shared_memory,
-    )
-    result = driver.partition(args.graph, args.k)
+    store = _make_store(args)
+    result = run_job(_job_spec_from_args(args), store=store)
     print(f"partitioner        : {result.algorithm} (out-of-core, "
           f"{args.workers} worker processes)")
     print(f"source             : {args.graph} "
@@ -240,6 +309,7 @@ def _partition_multi_worker(args: argparse.Namespace) -> int:
     print(f"chunk size         : {result.chunk_size:,} edges")
     _print_worker_protocol(args.shared_memory)
     _print_worker_report(result.report)
+    _print_cache(store, result)
     _print_ooc_quality(result, args.output)
     return 0
 
@@ -269,28 +339,12 @@ def _print_worker_report(report) -> None:
           f"send {timings.coordinator_send_s:.3f}s")
 
 
-def _multi_worker_hep(args: argparse.Namespace, batch: int) -> int:
+def _multi_worker_hep(args: argparse.Namespace) -> int:
     """HEP with a multi-process streaming phase (``--algo HEP --workers``)."""
-    from repro.stream import MultiWorkerHep
+    from repro.runtime.api import run_job
 
-    kwargs = {}
-    if args.metrics_workers:
-        kwargs["metrics_workers"] = args.metrics_workers
-    pipeline = MultiWorkerHep(
-        workers=args.workers,
-        batch=batch,
-        tau=args.tau,
-        memory_budget=args.memory_budget,
-        chunk_size=args.chunk_size,
-        buffer_size=args.buffer_size,
-        spill_dir=args.spill_dir,
-        spill_compression=args.spill_compression,
-        prefetch=args.prefetch,
-        mmap=args.mmap,
-        shared_memory=args.shared_memory,
-        **kwargs,
-    )
-    result = pipeline.partition(args.graph, args.k)
+    store = _make_store(args)
+    result = run_job(_job_spec_from_args(args), store=store)
     print(f"partitioner        : HEP-{result.tau:g} (out-of-core, "
           f"{args.workers} worker processes)")
     print(f"source             : {args.graph} "
@@ -302,7 +356,8 @@ def _multi_worker_hep(args: argparse.Namespace, batch: int) -> int:
               f"(projected {result.projected_memory_bytes:,})")
     print(f"h2h edges spilled  : {result.breakdown.num_h2h_edges:,} "
           f"({result.spill_bytes:,} bytes on disk)")
-    _print_worker_report(pipeline.last_report)
+    _print_worker_report(result.report)
+    _print_cache(store, result)
     _print_ooc_quality(result, args.output)
     return 0
 
@@ -318,21 +373,11 @@ def _print_ooc_quality(result, output: str | None) -> None:
 
 
 def _out_of_core_hep(args: argparse.Namespace) -> int:
-    """HEP through :class:`~repro.stream.pipeline.OutOfCoreHep`."""
-    from repro.stream import OutOfCoreHep
+    """The budgeted HEP pipeline through the runtime."""
+    from repro.runtime.api import run_job
 
-    pipeline = OutOfCoreHep(
-        tau=args.tau,  # None: the budget (or the 10.0 default) decides
-        memory_budget=args.memory_budget,
-        chunk_size=args.chunk_size,
-        buffer_size=args.buffer_size,
-        spill_dir=args.spill_dir,
-        spill_compression=args.spill_compression,
-        prefetch=args.prefetch,
-        mmap=args.mmap,
-        metrics_workers=args.metrics_workers,
-    )
-    result = pipeline.partition(args.graph, args.k)
+    store = _make_store(args)
+    result = run_job(_job_spec_from_args(args), store=store)
     print(f"partitioner        : HEP-{result.tau:g} (out-of-core)")
     print(f"source             : {args.graph} "
           f"(n={result.num_vertices:,} m={result.num_edges:,})")
@@ -348,19 +393,22 @@ def _out_of_core_hep(args: argparse.Namespace) -> int:
           f"({result.spill_bytes:,} bytes on disk"
           + (f", {args.spill_compression}" if args.spill_compression else "")
           + ")")
+    _print_cache(store, result)
     _print_ooc_quality(result, args.output)
     return 0
 
 
 def _out_of_core_baseline(args: argparse.Namespace) -> int:
-    """A streaming baseline through the universal out-of-core driver."""
-    from repro.stream import STREAMING_ALGORITHMS, StreamingPartitionerDriver
+    """A registered streaming baseline through the runtime."""
+    from repro.runtime.api import run_job
+    from repro.runtime.registry import AlgorithmRegistryView
 
-    known = {name.lower() for name in STREAMING_ALGORITHMS}
+    streaming_algorithms = AlgorithmRegistryView()
+    known = {name.lower() for name in streaming_algorithms}
     if args.method.lower() not in known:
         raise ReproError(
             f"--out-of-core supports HEP or a streaming baseline "
-            f"({', '.join(STREAMING_ALGORITHMS)}); got {args.method!r}"
+            f"({', '.join(streaming_algorithms)}); got {args.method!r}"
         )
     if args.memory_budget is not None:
         raise ReproError("--memory-budget tunes HEP's tau; the streaming "
@@ -371,19 +419,8 @@ def _out_of_core_baseline(args: argparse.Namespace) -> int:
     if args.spill_dir is not None or args.spill_compression is not None:
         raise ReproError("--spill-dir/--spill-compression apply to HEP's "
                          "h2h spill; the baselines never spill")
-    algo_kwargs = {}
-    if args.passes is not None:
-        algo_kwargs["passes"] = args.passes
-    driver = StreamingPartitionerDriver(
-        args.method,
-        chunk_size=args.chunk_size,
-        prefetch=args.prefetch,
-        mmap=args.mmap,
-        metrics_workers=args.metrics_workers,
-        shared_memory=args.shared_memory,
-        **algo_kwargs,
-    )
-    result = driver.partition(args.graph, args.k)
+    store = _make_store(args)
+    result = run_job(_job_spec_from_args(args), store=store)
     print(f"partitioner        : {result.algorithm} (out-of-core)")
     print(f"source             : {args.graph} "
           f"(n={result.num_vertices:,} m={result.num_edges:,})")
@@ -392,6 +429,7 @@ def _out_of_core_baseline(args: argparse.Namespace) -> int:
         print(f"prefetch depth     : {args.prefetch} chunks")
     if result.passes > 1:
         print(f"stream passes      : {result.passes}")
+    _print_cache(store, result)
     _print_ooc_quality(result, args.output)
     return 0
 
@@ -585,43 +623,81 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_trace_args(p: argparse.ArgumentParser) -> None:
-    """Attach the shared ``--trace`` flags to a run subcommand."""
-    p.add_argument("--trace", default=None, metavar="FILE",
-                   help="record a structured span trace (JSONL) of this "
-                        "run; inspect it with `repro trace summarize`")
-    p.add_argument("--trace-memory", choices=MEMORY_MODES, default=None,
-                   help="additionally probe per-span memory deltas "
-                        "(tracemalloc: allocation-exact, slower; "
-                        "rss: process RSS, cheap; requires --trace)")
+def _trace_parent() -> argparse.ArgumentParser:
+    """Parent parser: the ``--trace`` flag group shared by run commands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--trace", default=None, metavar="FILE",
+                        help="record a structured span trace (JSONL) of "
+                             "this run; inspect it with `repro trace "
+                             "summarize`")
+    parent.add_argument("--trace-memory", choices=MEMORY_MODES, default=None,
+                        help="additionally probe per-span memory deltas "
+                             "(tracemalloc: allocation-exact, slower; "
+                             "rss: process RSS, cheap; requires --trace)")
+    return parent
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Hybrid Edge Partitioner (SIGMOD'21) reproduction toolkit",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
+def _source_parent(graph_help: str, chunk_help: str) -> argparse.ArgumentParser:
+    """Parent parser: the edge-source flag group (positional + chunking)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("graph", help=graph_help)
+    parent.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+                        help=chunk_help)
+    return parent
 
-    p = sub.add_parser("partition", help="partition a graph's edges")
-    p.add_argument("graph", help="dataset name or edge-list file")
+
+def _budget_parent(budget_help: str) -> argparse.ArgumentParser:
+    """Parent parser: the ``--memory-budget`` flag group."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--memory-budget", type=int, default=None,
+                        metavar="BYTES", help=budget_help)
+    return parent
+
+
+def _worker_parent(metrics_help: str, shm_help: str) -> argparse.ArgumentParser:
+    """Parent parser: the scan-worker flag group."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--metrics-workers", type=int, default=0, metavar="N",
+                        help=metrics_help)
+    parent.add_argument("--shared-memory",
+                        action=argparse.BooleanOptionalAction, default=True,
+                        help=shm_help)
+    return parent
+
+
+def _partition_parents() -> list[argparse.ArgumentParser]:
+    """The shared flag groups ``partition`` and ``job describe`` use."""
+    return [
+        _source_parent(
+            "dataset name or edge-list file",
+            "edges per I/O chunk for --out-of-core",
+        ),
+        _budget_parent(
+            "byte budget for HEP's in-memory structures; "
+            "selects tau from the §4.4 grid (overrides --tau)"
+        ),
+        _worker_parent(
+            "run the counting/metrics passes on N worker "
+            "processes (--out-of-core; bit-identical results; "
+            "0 = sequential, or the --workers count for the "
+            "multi-worker drivers)",
+            "serve worker state from a shared-memory segment "
+            "on a warm process pool (the default); "
+            "--no-shared-memory falls back to the pickled-"
+            "delta pipe protocol (bit-identical, slower)",
+        ),
+    ]
+
+
+def _add_partition_flags(p: argparse.ArgumentParser) -> None:
+    """The algorithm/pipeline flags ``partition`` and ``job describe`` share."""
     p.add_argument("--k", type=int, default=32, help="number of partitions")
     p.add_argument("--method", "--algo", dest="method", default="HEP",
                    help=f"HEP or one of {', '.join(PARTITIONER_FACTORIES)}; "
-                        "with --out-of-core: HEP, HDRF, Greedy, DBH, Grid "
-                        "or Restreaming")
+                        "with --out-of-core: HEP or any registered "
+                        "streaming baseline (`--algo help` lists them)")
     p.add_argument("--tau", type=float, default=None,
                    help="HEP degree threshold factor (default 10.0)")
-    p.add_argument("--output", help="write per-edge partition ids here")
-    p.add_argument("--shards-dir", help="write one binary edge list per partition")
-    p.add_argument("--out-of-core", action="store_true",
-                   help="partition through the chunked streaming subsystem "
-                        "(repro.stream); edge files are never fully loaded")
-    p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
-                   help="byte budget for HEP's in-memory structures; "
-                        "selects tau from the §4.4 grid (overrides --tau)")
-    p.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
-                   help="edges per I/O chunk for --out-of-core")
     p.add_argument("--buffer-size", type=int, default=None,
                    help="buffered-scoring window for the streaming phase")
     p.add_argument("--spill-dir", default=None,
@@ -643,45 +719,86 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=None, metavar="B",
                    help="edges each worker scores per BSP superstep "
                         "(default 8; requires --workers)")
-    p.add_argument("--metrics-workers", type=int, default=0, metavar="N",
-                   help="run the counting/metrics passes on N worker "
-                        "processes (--out-of-core; bit-identical results; "
-                        "0 = sequential, or the --workers count for the "
-                        "multi-worker drivers)")
-    p.add_argument("--shared-memory", action=argparse.BooleanOptionalAction,
-                   default=True,
-                   help="serve worker state from a shared-memory segment "
-                        "on a warm process pool (the default); "
-                        "--no-shared-memory falls back to the pickled-"
-                        "delta pipe protocol (bit-identical, slower)")
-    _add_trace_args(p)
+
+
+def _cmd_job_describe(args: argparse.Namespace) -> int:
+    """``repro job describe``: canonical JSON + content hash of a spec.
+
+    Prints exactly what the runtime would hash and cache-key for this
+    flag set — the canonical one-line JSON, the sha256 content hash,
+    and the stage pipeline the planner would run.
+    """
+    from repro.runtime.plan import plan_job
+
+    spec = _job_spec_from_args(args)
+    print(spec.canonical_json())
+    print(f"content hash       : {spec.content_hash()}")
+    print(f"pipeline           : {plan_job(spec).describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid Edge Partitioner (SIGMOD'21) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition a graph's edges",
+                       parents=[*_partition_parents(), _trace_parent()])
+    _add_partition_flags(p)
+    p.add_argument("--output", help="write per-edge partition ids here")
+    p.add_argument("--shards-dir", help="write one binary edge list per partition")
+    p.add_argument("--out-of-core", action="store_true",
+                   help="partition through the chunked streaming subsystem "
+                        "(repro.stream); edge files are never fully loaded")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="content-addressed result cache: identical "
+                        "out-of-core jobs are served from DIR without "
+                        "recomputing (keyed by job hash + input digest)")
     p.set_defaults(func=_cmd_partition)
+
+    p = sub.add_parser(
+        "job",
+        help="inspect runtime job specs (spec -> plan -> executor layer)",
+    )
+    job_sub = p.add_subparsers(dest="job_command", required=True)
+    p2 = job_sub.add_parser(
+        "describe",
+        help="print a spec's canonical JSON, content hash, and stage plan",
+        parents=_partition_parents(),
+    )
+    _add_partition_flags(p2)
+    p2.set_defaults(func=_cmd_job_describe)
 
     p = sub.add_parser(
         "scan",
         help="counting/metrics passes alone: stream stats and "
              "(with --parts) assignment quality, out of core",
+        parents=[
+            _source_parent(
+                "dataset name or edge-list file/manifest",
+                "edges per I/O chunk for every pass",
+            ),
+            _budget_parent(
+                "byte bound for the metrics cover; larger covers "
+                "fall back to column-blocked sweeps"
+            ),
+            _worker_parent(
+                "run both passes on N worker processes (shard "
+                "manifests and flat binary edge files)",
+                "run both passes on one warm worker pool, shipping "
+                "the assignment through shared memory; "
+                "--no-shared-memory forks a cold pool per pass",
+            ),
+            _trace_parent(),
+        ],
     )
-    p.add_argument("graph", help="dataset name or edge-list file/manifest")
     p.add_argument("--parts", default=None, metavar="FILE",
                    help="per-edge partition-id file (one id per line, as "
                         "written by partition --output) to score")
     p.add_argument("--k", type=int, default=None,
                    help="partition count for --parts (default: max id + 1)")
-    p.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
-                   help="edges per I/O chunk for every pass")
-    p.add_argument("--metrics-workers", type=int, default=0, metavar="N",
-                   help="run both passes on N worker processes (shard "
-                        "manifests and flat binary edge files)")
-    p.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
-                   help="byte bound for the metrics cover; larger covers "
-                        "fall back to column-blocked sweeps")
-    p.add_argument("--shared-memory", action=argparse.BooleanOptionalAction,
-                   default=True,
-                   help="run both passes on one warm worker pool, shipping "
-                        "the assignment through shared memory; "
-                        "--no-shared-memory forks a cold pool per pass")
-    _add_trace_args(p)
     p.set_defaults(func=_cmd_scan)
 
     p = sub.add_parser("compare", help="run several partitioners side by side")
@@ -703,13 +820,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "extsort",
         help="rewrite an edge file in degree order with bounded memory",
+        parents=[
+            _source_parent(
+                "dataset name or edge-list file",
+                "edges per in-memory sort run",
+            ),
+            _trace_parent(),
+        ],
     )
-    p.add_argument("graph", help="dataset name or edge-list file")
     p.add_argument("output", help="binary edge-list file to write")
     p.add_argument("--order", choices=EXTSORT_ORDERS, default="degree",
                    help="ordering to realize (degree-derived keys only)")
-    p.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
-                   help="edges per in-memory sort run")
     p.add_argument("--shards", type=int, default=None, metavar="K",
                    help="split the sorted stream into K shard files plus "
                         "a manifest (output becomes <out>.manifest.json)")
@@ -718,7 +839,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scan-workers", type=int, default=0, metavar="N",
                    help="run the counting pass (which keys the sort) on "
                         "N worker processes")
-    _add_trace_args(p)
     p.set_defaults(func=_cmd_extsort)
 
     p = sub.add_parser(

@@ -2,15 +2,17 @@
 
 The paper's closing future-work direction is parallelism; the ROADMAP's
 concrete step is multi-*worker* partitioning over the PR 3 shard
-format.  This experiment runs :class:`~repro.stream.workers.
-MultiWorkerStreamingDriver` (N OS processes, one per shard assignment)
-for N ∈ {1, 2, 4} on a sharded export and verifies, per row, that the
-multi-process run is **bit-identical** to the in-process BSP schedule
+format.  This experiment runs multi-worker ``JobSpec``\\ s through the
+runtime layer (:func:`~repro.runtime.spec.make_job` →
+:func:`~repro.runtime.api.run_job`, which lowers to N OS processes,
+one per shard assignment) for N ∈ {1, 2, 4} on a sharded export and
+verifies, per row, that the multi-process run is **bit-identical** to
+the in-process BSP schedule
 (:func:`~repro.parallel.bsp_streaming.bsp_hdrf_stream`) with the same
 workers/batch and the same shard-derived streams — the executable
 oracle.  It also reports the replication-factor cost of staleness as
-``workers x batch`` grows, and the HEP variant
-(:class:`~repro.stream.workers.MultiWorkerHep`) against
+``workers x batch`` grows, and the HEP variant (``algo="HEP"`` with
+``workers``) against
 :class:`~repro.parallel.bsp_streaming.ParallelHepPartitioner`.
 """
 
@@ -26,9 +28,8 @@ from repro.graph.edgelist import write_binary_edgelist
 from repro.parallel import ParallelHepPartitioner, bsp_hdrf_stream
 from repro.partition.base import capacity_bound
 from repro.partition.state import StreamingState
+from repro.runtime import make_job, run_job
 from repro.stream import (
-    MultiWorkerHep,
-    MultiWorkerStreamingDriver,
     open_edge_source,
     parallel_scan_source,
     plan_worker_segments,
@@ -69,10 +70,9 @@ def run(graphs: tuple[str, ...] | None = None, k: int = _K) -> ExperimentResult:
                 and bool(np.array_equal(seq_stats.degrees, par_stats.degrees))
             )
             for workers in _WORKER_COUNTS:
-                driver = MultiWorkerStreamingDriver(
-                    workers=workers, batch=_BATCH
-                )
-                result = driver.partition(manifest, k)
+                result = run_job(make_job(
+                    "HDRF", manifest, k, workers=workers, batch=_BATCH,
+                ))
                 _, streams, _, _ = plan_worker_segments(manifest, workers)
                 capacity = capacity_bound(graph.num_edges, k, 1.0)
                 state = StreamingState(
@@ -102,8 +102,9 @@ def run(graphs: tuple[str, ...] | None = None, k: int = _K) -> ExperimentResult:
             # HEP: the multi-process phase two vs ParallelHepPartitioner.
             binary = Path(tmp) / f"{name}.bin"
             write_binary_edgelist(graph, binary)
-            hep = MultiWorkerHep(workers=2, batch=_BATCH, tau=_TAU)
-            hep_result = hep.partition(binary, k)
+            hep_result = run_job(make_job(
+                "HEP", binary, k, workers=2, batch=_BATCH, tau=_TAU,
+            ))
             hep_oracle = ParallelHepPartitioner(
                 tau=_TAU, workers=2, batch=_BATCH
             ).partition(graph, k)
@@ -118,7 +119,8 @@ def run(graphs: tuple[str, ...] | None = None, k: int = _K) -> ExperimentResult:
                     "workers": 2,
                     "batch": _BATCH,
                     "supersteps": (
-                        hep.last_report.supersteps if hep.last_report else 0
+                        hep_result.report.supersteps if hep_result.report
+                        else 0
                     ),
                     "rf": round(hep_result.replication_factor, 4),
                     "alpha": round(hep_result.edge_balance, 4),

@@ -7,15 +7,16 @@ reading, disk spill, a real byte budget); this experiment makes the
 the same dataset:
 
 * **in-memory** — the seed path, full edge list resident, and
-* **out-of-core** — from a binary edge *file* through
-  :class:`~repro.stream.driver.StreamingPartitionerDriver`, with only
-  ``O(n + k)`` state plus one chunk in memory,
+* **out-of-core** — from a binary edge *file* through the runtime
+  layer (:func:`~repro.runtime.spec.make_job` →
+  :func:`~repro.runtime.api.run_job`), with only ``O(n + k)`` state
+  plus one chunk in memory,
 
 and the table reports both quality metrics plus whether the streamed
 assignment is bit-identical (for natural order it must be).  HEP itself
-runs through :class:`~repro.stream.pipeline.OutOfCoreHep` under an
-explicit byte budget, so the whole comparison finally happens under the
-memory constraint the paper's title promises.
+runs as a ``JobSpec`` under an explicit byte budget, so the whole
+comparison finally happens under the memory constraint the paper's
+title promises.
 """
 
 from __future__ import annotations
@@ -33,13 +34,8 @@ from repro.experiments.common import (
     make_partitioner,
 )
 from repro.graph.edgelist import write_binary_edgelist
-from repro.stream import (
-    OutOfCoreHep,
-    StreamingPartitionerDriver,
-    chunked_quality,
-    open_edge_source,
-    scan_source,
-)
+from repro.runtime import make_job, run_job
+from repro.stream import chunked_quality, open_edge_source, scan_source
 
 __all__ = ["run"]
 
@@ -82,10 +78,10 @@ def run(
             write_binary_edgelist(graph, path)
             for algo in _BASELINES:
                 in_mem = make_partitioner(algo).partition(graph, k)
-                driver = StreamingPartitionerDriver(
-                    algo, chunk_size=_CHUNK, metrics_workers=metrics_workers
-                )
-                ooc = driver.partition(path, k)
+                ooc = run_job(make_job(
+                    algo, path, k, chunk_size=_CHUNK,
+                    metrics_workers=metrics_workers,
+                ))
                 same = bool(np.array_equal(ooc.parts, in_mem.parts))
                 identical_everywhere &= same
                 rows.append(
@@ -102,11 +98,10 @@ def run(
             # HEP under a genuine byte budget, from the same edge file.
             _, footprint = select_tau(graph, 10**12, k)
             budget = max(1, int(footprint * budget_fraction))
-            hep = OutOfCoreHep(
-                memory_budget=budget, chunk_size=_CHUNK,
-                metrics_workers=metrics_workers,
-            )
-            result = hep.partition(path, k)
+            result = run_job(make_job(
+                "HEP", path, k, chunk_size=_CHUNK, memory_budget=budget,
+                metrics_workers=metrics_workers, shared_memory=False,
+            ))
             # One equality probe per graph: the worker-parallel metrics
             # pass must match the sequential sweep bit for bit.
             seq_rf, seq_alpha = chunked_quality(

@@ -1,0 +1,94 @@
+"""The runtime layer: declarative jobs, explicit plans, pluggable executors.
+
+``repro.runtime`` unifies the four legacy drivers (streaming
+baselines, out-of-core HEP, and their multi-worker variants) behind
+one path::
+
+    JobSpec  --plan_job-->  Plan  --run_job + Executor-->  PartitionResult
+
+* :class:`~repro.runtime.spec.JobSpec` — a frozen, canonically
+  serializable job description with a stable content hash,
+* :func:`~repro.runtime.plan.plan_job` — lowers a spec to an explicit
+  stage DAG over the stage registry,
+* :mod:`~repro.runtime.executor` — in-process vs worker-pool
+  strategies for the passes that have both forms,
+* :func:`~repro.runtime.api.run_job` — runs the plan (or serves the
+  result from a content-addressed
+  :class:`~repro.runtime.store.ArtifactStore` without recomputing),
+* :mod:`~repro.runtime.registry` — the decorator-based streaming
+  algorithm registry the adapters register into.
+
+The legacy driver classes remain as thin shims that build a spec and
+delegate here; the equivalence and Hypothesis suites pin the shims
+bit-identical to their pre-runtime behavior.
+"""
+
+from repro.runtime.api import run_job, validate_spec
+from repro.runtime.executor import (
+    Executor,
+    InProcessExecutor,
+    PoolExecutor,
+    select_executor,
+)
+from repro.runtime.plan import (
+    PIPELINES,
+    Plan,
+    STAGE_REGISTRY,
+    Stage,
+    pipeline_kind,
+    plan_job,
+    register_stage,
+)
+from repro.runtime.registry import (
+    AlgorithmInfo,
+    AlgorithmRegistryView,
+    algorithm_catalog,
+    algorithm_info,
+    algorithm_names,
+    algorithm_params,
+    create_algorithm,
+    register_streaming_algorithm,
+    registered_algorithm_name,
+)
+from repro.runtime.result import PartitionResult
+from repro.runtime.spec import (
+    SPEC_VERSION,
+    InputSpec,
+    JobSpec,
+    make_job,
+    spec_fields,
+)
+from repro.runtime.store import ArtifactStore, input_digest
+
+__all__ = [
+    "AlgorithmInfo",
+    "AlgorithmRegistryView",
+    "ArtifactStore",
+    "Executor",
+    "InProcessExecutor",
+    "InputSpec",
+    "JobSpec",
+    "PIPELINES",
+    "PartitionResult",
+    "Plan",
+    "PoolExecutor",
+    "SPEC_VERSION",
+    "STAGE_REGISTRY",
+    "Stage",
+    "algorithm_catalog",
+    "algorithm_info",
+    "algorithm_names",
+    "algorithm_params",
+    "create_algorithm",
+    "input_digest",
+    "make_job",
+    "pipeline_kind",
+    "plan_job",
+    "register_stage",
+    "register_streaming_algorithm",
+    "registered_algorithm_name",
+    "run_job",
+    "select_executor",
+    "spec_fields",
+    "validate_spec",
+]

@@ -1,0 +1,233 @@
+"""``run_job``: the single entry point every driver delegates to.
+
+The runner takes a frozen :class:`~repro.runtime.spec.JobSpec`, plans
+it (:func:`~repro.runtime.plan.plan_job`), picks an executor
+(:func:`~repro.runtime.executor.select_executor`), and runs the stage
+sequence inside the same ``partition`` root span — same attribute set,
+same pass order, same pool lifecycles — the four legacy drivers
+emitted, so the observability suite pins the runtime exactly as it
+pinned the drivers.  With an :class:`~repro.runtime.store.ArtifactStore`
+attached, a content-addressed lookup runs first: on a hit the saved
+assignment is returned bit for bit with **zero** stages executed (the
+result's ``stages_executed`` is empty and the trace holds a single
+``cache_hit`` span instead of the pipeline).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ConfigurationError
+from repro.obs.tracer import get_tracer
+from repro.runtime.plan import pipeline_kind, plan_job
+from repro.runtime.registry import create_algorithm
+from repro.runtime.result import PartitionResult
+from repro.runtime.spec import JobSpec
+from repro.runtime.stages import RunContext
+
+__all__ = ["run_job", "validate_spec"]
+
+
+def validate_spec(spec: JobSpec) -> None:
+    """Reject invalid specs with the drivers' exact error messages.
+
+    The legacy constructors performed these checks at build time; the
+    shims still do.  Running them here as well means specs built
+    directly via :func:`~repro.runtime.spec.make_job` fail identically.
+    """
+    hep = pipeline_kind(spec) == "hep"
+    if spec.tau is not None and spec.tau <= 0:
+        raise ConfigurationError(f"tau must be positive, got {spec.tau}")
+    if spec.memory_budget is not None and spec.memory_budget < 1:
+        raise ConfigurationError(
+            f"memory_budget must be positive, got {spec.memory_budget}"
+        )
+    if spec.metrics_workers < 0:
+        raise ConfigurationError(
+            f"metrics_workers must be >= 0, got {spec.metrics_workers}"
+        )
+    if spec.workers < 0:
+        raise ConfigurationError(
+            f"workers must be >= 1, got {spec.workers}"
+        )
+    if spec.workers >= 1:
+        if spec.batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {spec.batch}")
+        if hep and spec.buffer_size is not None:
+            raise ConfigurationError(
+                "buffer_size is a sequential scoring window; it cannot "
+                "combine with multi-worker streaming"
+            )
+    if spec.k < 2:
+        if hep:
+            raise ConfigurationError(
+                f"out-of-core HEP requires k >= 2, got {spec.k}"
+            )
+        if spec.workers >= 1:
+            raise ConfigurationError(
+                f"multi-worker partitioning requires k >= 2, got {spec.k}"
+            )
+        raise ConfigurationError(
+            f"streaming driver requires k >= 2, got {spec.k}"
+        )
+
+
+def _default_source(spec: JobSpec):
+    """Resolve the source from the spec alone (path/dataset inputs)."""
+    if spec.input.kind in ("path", "dataset"):
+        return spec.input.path
+    raise ConfigurationError(
+        f"jobspec input of kind {spec.input.kind!r} requires an explicit "
+        "source object passed to run_job"
+    )
+
+
+def _names(spec: JobSpec, algorithm) -> tuple[str, str]:
+    """(root-span display name, result-facing algorithm name)."""
+    if pipeline_kind(spec) == "hep":
+        if spec.workers >= 1:
+            name = f"HEP-mw{spec.workers}"
+            return name, name
+        return "HEP-ooc", "HEP"
+    if spec.workers >= 1:
+        name = f"HDRF-mw{spec.workers}"
+        return name, name
+    return f"{algorithm.name}-ooc", algorithm.name
+
+
+def _execute(spec: JobSpec, source, algorithm=None) -> PartitionResult:
+    """Run the planned stages; the body mirrors the pre-PR 8 drivers."""
+    from repro.runtime.executor import select_executor
+    from repro.stream.reader import PrefetchingEdgeSource, open_edge_source
+
+    kind = pipeline_kind(spec)
+    algo = None
+    if kind != "hep" and spec.workers == 0:
+        algo = (
+            algorithm
+            if algorithm is not None
+            else create_algorithm(spec.algo, **spec.params)
+        )
+    display, result_name = _names(spec, algo)
+
+    ctx = RunContext(spec, source, algorithm=algo)
+    if kind == "hep":
+        ctx.empty_message = "out-of-core HEP: edge stream is empty"
+    elif spec.workers >= 1:
+        ctx.empty_message = "multi-worker HDRF: edge stream is empty"
+    else:
+        ctx.empty_message = f"{algo.name}: edge stream is empty"
+
+    plan = plan_job(spec)
+    executor = select_executor(spec)
+    tracer = get_tracer()
+    start = time.perf_counter()
+    attrs: dict = {"algo": display, "k": spec.k}
+    if kind != "hep" and spec.workers >= 1:
+        attrs["workers"] = spec.workers
+    attrs["source"] = str(source)
+    with tracer.span("partition", **attrs):
+        executor.prepare(spec, ctx)
+        try:
+            src = open_edge_source(
+                source, spec.chunk_size, order=spec.input.order,
+                seed=spec.input.seed, mmap=spec.input.mmap,
+            )
+            if spec.input.prefetch > 0:
+                src = PrefetchingEdgeSource(src, depth=spec.input.prefetch)
+            ctx.src = src
+            executor.start(spec, ctx)
+            for stage in plan.stages:
+                stage.fn(spec, ctx, executor)
+                ctx.executed.append(stage.name)
+        finally:
+            executor.finish(spec, ctx)
+            ctx.close()
+        source_stats = ctx.src.stats() if ctx.src is not None else None
+        if tracer.enabled and source_stats:
+            tracer.event(
+                "source_read", counters=source_stats,
+                source=ctx.src.describe(),
+            )
+    return PartitionResult(
+        spec=spec,
+        algorithm=result_name,
+        parts=ctx.parts,
+        k=spec.k,
+        num_vertices=ctx.stats.num_vertices,
+        num_edges=ctx.stats.num_edges,
+        chunk_size=spec.chunk_size,
+        loads=ctx.loads,
+        replication_factor=ctx.replication_factor,
+        edge_balance=ctx.edge_balance,
+        runtime_s=time.perf_counter() - start,
+        passes=ctx.passes,
+        tau=ctx.tau,
+        breakdown=ctx.breakdown,
+        spill_bytes=ctx.spill_bytes,
+        buffer_size=spec.buffer_size,
+        projected_memory_bytes=ctx.projected_memory_bytes,
+        report=ctx.report,
+        job_hash=spec.content_hash(),
+        cache_hit=False,
+        stages_executed=tuple(ctx.executed),
+        trace_path=str(spec.trace_path) if spec.trace_path else None,
+    )
+
+
+def run_job(
+    spec: JobSpec, source=None, *, store=None, algorithm=None
+) -> PartitionResult:
+    """Run one partitioning job described by ``spec``.
+
+    Parameters
+    ----------
+    spec:
+        The frozen job description (:func:`~repro.runtime.spec.make_job`
+        is the convenient builder).
+    source:
+        The input to partition — anything
+        :func:`~repro.stream.reader.open_edge_source` accepts.  May be
+        omitted for ``path``/``dataset`` inputs, where the spec itself
+        names the source.
+    store:
+        Optional :class:`~repro.runtime.store.ArtifactStore`.  When
+        given and the input is content-addressable, a cache hit returns
+        the saved result without executing any stage, and a miss
+        persists the computed result for next time.
+    algorithm:
+        Optional pre-built :class:`~repro.stream.driver.
+        StreamingAlgorithm` instance (the legacy driver shims pass the
+        one their constructor already validated); by default the
+        adapter is created from the registry using ``spec.algo`` and
+        ``spec.params``.
+    """
+    validate_spec(spec)
+    resolved = source if source is not None else _default_source(spec)
+    digest = None
+    key = None
+    if store is not None and spec.cacheable():
+        from repro.runtime.store import input_digest
+
+        digest = input_digest(spec, resolved)
+        if digest is not None:
+            key = store.cache_key(spec, digest)
+            lookup = time.perf_counter()
+            cached = store.get(key, spec)
+            if cached is not None:
+                tracer = get_tracer()
+                with tracer.span(
+                    "partition", algo=spec.algo, k=spec.k,
+                    source=str(resolved), cached=True,
+                ):
+                    with tracer.span("cache_hit", key=key):
+                        pass
+                cached.runtime_s = time.perf_counter() - lookup
+                cached.trace_path = (
+                    str(spec.trace_path) if spec.trace_path else None
+                )
+                return cached
+    result = _execute(spec, resolved, algorithm=algorithm)
+    if key is not None:
+        store.put(key, result, digest)
+    return result

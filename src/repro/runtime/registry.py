@@ -1,0 +1,201 @@
+"""Decorator-based registry of streaming-algorithm adapters.
+
+PR 8 replaces :func:`~repro.stream.driver.make_streaming_algorithm`'s
+hand-maintained string dispatch with this registry: an algorithm class
+decorates itself with :func:`register_streaming_algorithm` and is from
+then on discoverable by name (``--algo help`` in the CLI prints
+:func:`algorithm_catalog`), constructible by
+:func:`create_algorithm`, and hashable into a
+:class:`~repro.runtime.spec.JobSpec` via the declared constructor
+parameters (:func:`algorithm_params`).  New algorithms — the ROADMAP's
+buffered HeiStream-style partitioner, for one — register without
+editing any factory.
+
+This module is a leaf on purpose: it imports nothing from
+:mod:`repro.stream`, so both the spec layer and the driver layer can
+depend on it without cycles.  The built-in adapters live in
+:mod:`repro.stream.driver`; importing that module populates the
+registry (:func:`ensure_builtins_registered` does it lazily for
+callers that start from :mod:`repro.runtime`).
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "AlgorithmInfo",
+    "AlgorithmRegistryView",
+    "algorithm_catalog",
+    "algorithm_info",
+    "algorithm_names",
+    "algorithm_params",
+    "create_algorithm",
+    "ensure_builtins_registered",
+    "register_streaming_algorithm",
+    "registered_algorithm_name",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One registered streaming algorithm: its class and declared knobs."""
+
+    #: canonical table name (``--algo`` spelling, case-insensitive match)
+    name: str
+    #: the :class:`~repro.stream.driver.StreamingAlgorithm` subclass
+    factory: type
+    #: ``(param, default)`` pairs from the constructor signature
+    params: tuple[tuple[str, object], ...]
+    #: first docstring line, shown by ``--algo help``
+    summary: str
+
+
+_ALGORITHMS: dict[str, AlgorithmInfo] = {}
+
+
+def register_streaming_algorithm(name: str):
+    """Class decorator: register a streaming algorithm under ``name``.
+
+    The constructor signature is introspected once at registration; its
+    keyword parameters (with defaults) become the algorithm's declared
+    parameter set, used both for the ``--algo help`` listing and for
+    canonicalizing :class:`~repro.runtime.spec.JobSpec` hashes.
+    """
+
+    def decorate(cls: type) -> type:
+        for existing in _ALGORITHMS:
+            if existing.lower() == name.lower():
+                raise ConfigurationError(
+                    f"streaming algorithm {name!r} is already registered"
+                )
+        signature = inspect.signature(cls.__init__)
+        params = tuple(
+            (parameter.name, parameter.default)
+            for parameter in signature.parameters.values()
+            if parameter.name != "self"
+            and parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        )
+        doc = inspect.getdoc(cls) or ""
+        summary = doc.splitlines()[0].strip() if doc else ""
+        _ALGORITHMS[name] = AlgorithmInfo(
+            name=name, factory=cls, params=params, summary=summary
+        )
+        return cls
+
+    return decorate
+
+
+def ensure_builtins_registered() -> None:
+    """Import the built-in adapters so the registry is populated."""
+    import repro.stream.driver  # noqa: F401  (registers on import)
+
+
+def algorithm_names() -> tuple[str, ...]:
+    """Canonical names of every registered algorithm, in registration order."""
+    ensure_builtins_registered()
+    return tuple(_ALGORITHMS)
+
+
+def algorithm_info(name: str) -> AlgorithmInfo:
+    """Case-insensitive registry lookup; raises on unknown names."""
+    ensure_builtins_registered()
+    for info in _ALGORITHMS.values():
+        if info.name.lower() == name.lower():
+            return info
+    raise ConfigurationError(
+        f"unknown streaming algorithm {name!r}; available: "
+        f"{', '.join(_ALGORITHMS)}"
+    )
+
+
+def create_algorithm(name: str, **kwargs):
+    """Instantiate a registered streaming algorithm from its table name."""
+    return algorithm_info(name).factory(**kwargs)
+
+
+def registered_algorithm_name(instance) -> str | None:
+    """Registry name for an adapter instance, or ``None`` if unregistered."""
+    ensure_builtins_registered()
+    for info in _ALGORITHMS.values():
+        if type(instance) is info.factory:
+            return info.name
+    return None
+
+
+def algorithm_params(instance) -> tuple[tuple[str, object], ...] | None:
+    """Recover ``(param, value)`` pairs from an adapter instance.
+
+    Uses the declared constructor parameters of the instance's
+    registered class; every built-in adapter stores its knobs as
+    same-named attributes.  Returns ``None`` for unregistered classes
+    (such specs are not content-addressable).
+    """
+    ensure_builtins_registered()
+    for info in _ALGORITHMS.values():
+        if type(instance) is info.factory:
+            return tuple(
+                (param, getattr(instance, param, default))
+                for param, default in info.params
+            )
+    return None
+
+
+def algorithm_catalog() -> str:
+    """Human-readable listing of every registered algorithm and its knobs.
+
+    This is what ``repro partition --algo help`` prints; ``HEP`` is
+    listed first because the two-phase pipeline is not a
+    :class:`~repro.stream.driver.StreamingAlgorithm` adapter but the
+    planner's other pipeline shape.
+    """
+    ensure_builtins_registered()
+    lines = ["registered algorithms (--algo NAME, case-insensitive):", ""]
+    lines.append(
+        "  HEP           two-phase NE++ + informed HDRF pipeline "
+        "(tau/memory-budget knobs)"
+    )
+    for info in _ALGORITHMS.values():
+        knobs = ", ".join(
+            f"{param}={default!r}" for param, default in info.params
+        )
+        lines.append(f"  {info.name:<13} {info.summary}")
+        if knobs:
+            lines.append(f"  {'':<13}   params: {knobs}")
+    return "\n".join(lines)
+
+
+class AlgorithmRegistryView(Mapping):
+    """Live read-only ``name -> class`` view of the registry.
+
+    Exported as :data:`repro.stream.driver.STREAMING_ALGORITHMS` so the
+    pre-PR 8 mapping API keeps working while staying in sync with
+    decorator registrations that happen later.
+    """
+
+    def __getitem__(self, name: str) -> type:
+        """Look up a registered algorithm class by exact name."""
+        ensure_builtins_registered()
+        return _ALGORITHMS[name].factory
+
+    def __iter__(self):
+        """Iterate canonical algorithm names in registration order."""
+        ensure_builtins_registered()
+        return iter(_ALGORITHMS)
+
+    def __len__(self) -> int:
+        """Number of registered algorithms."""
+        ensure_builtins_registered()
+        return len(_ALGORITHMS)
+
+    def __repr__(self) -> str:
+        """Show the registered names (helps failing-test output)."""
+        return f"AlgorithmRegistryView({', '.join(self)})"

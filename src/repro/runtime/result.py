@@ -1,0 +1,123 @@
+"""The unified result of a runtime partitioning job.
+
+One :class:`PartitionResult` replaces the three pre-PR 8 result
+families (:class:`~repro.stream.driver.StreamedResult`,
+:class:`~repro.stream.pipeline.OutOfCoreResult`,
+:class:`~repro.stream.workers.MultiWorkerResult`): it carries the
+assignment handle, the quality metrics, the HEP phase breakdown and
+worker report when the pipeline produced them, the provenance
+(``job_hash``, ``cache_hit``, ``stages_executed``), and the trace
+path.  The legacy driver shims convert through
+:meth:`to_streamed` / :meth:`to_out_of_core` / :meth:`to_multi_worker`
+so their public return types — and every field the test suite pins —
+stay exactly as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hep import HepPhaseBreakdown
+from repro.runtime.spec import JobSpec
+
+__all__ = ["PartitionResult"]
+
+
+@dataclass
+class PartitionResult:
+    """Everything one runtime job can report, pipeline-independent."""
+
+    spec: JobSpec
+    algorithm: str             # result-facing name (e.g. HDRF, HEP, HDRF-mw2)
+    parts: np.ndarray          # (m,) int32 per-edge partition ids
+    k: int
+    num_vertices: int
+    num_edges: int
+    chunk_size: int
+    loads: np.ndarray          # (k,) final per-partition edge counts
+    replication_factor: float
+    edge_balance: float
+    runtime_s: float
+    passes: int = 1
+    tau: float | None = None
+    breakdown: HepPhaseBreakdown | None = None
+    spill_bytes: int = 0
+    buffer_size: int | None = None
+    projected_memory_bytes: int | None = None
+    report: object | None = None      # MultiWorkerReport when BSP ran
+    job_hash: str = ""
+    cache_hit: bool = False
+    stages_executed: tuple[str, ...] = ()
+    trace_path: str | None = None
+
+    @property
+    def num_unassigned(self) -> int:
+        """Number of edges left without a partition (should be zero)."""
+        return int((self.parts < 0).sum())
+
+    def to_assignment(self, graph):
+        """Attach the parts to an in-memory Graph (tests/analysis only)."""
+        from repro.partition.base import PartitionAssignment
+
+        return PartitionAssignment(graph, self.k, self.parts)
+
+    # -- legacy conversions ------------------------------------------------
+
+    def to_streamed(self):
+        """Convert to the legacy :class:`~repro.stream.driver.StreamedResult`."""
+        from repro.stream.driver import StreamedResult
+
+        return StreamedResult(
+            algorithm=self.algorithm,
+            parts=self.parts,
+            k=self.k,
+            num_vertices=self.num_vertices,
+            num_edges=self.num_edges,
+            chunk_size=self.chunk_size,
+            passes=self.passes,
+            loads=self.loads,
+            replication_factor=self.replication_factor,
+            edge_balance=self.edge_balance,
+            runtime_s=self.runtime_s,
+        )
+
+    def to_out_of_core(self):
+        """Convert to the legacy :class:`~repro.stream.pipeline.OutOfCoreResult`."""
+        from repro.stream.pipeline import OutOfCoreResult
+
+        return OutOfCoreResult(
+            parts=self.parts,
+            k=self.k,
+            tau=self.tau,
+            num_vertices=self.num_vertices,
+            num_edges=self.num_edges,
+            chunk_size=self.chunk_size,
+            buffer_size=self.buffer_size,
+            breakdown=self.breakdown,
+            spill_bytes=self.spill_bytes,
+            loads=self.loads,
+            replication_factor=self.replication_factor,
+            edge_balance=self.edge_balance,
+            projected_memory_bytes=self.projected_memory_bytes,
+            runtime_s=self.runtime_s,
+        )
+
+    def to_multi_worker(self):
+        """Convert to the legacy :class:`~repro.stream.workers.MultiWorkerResult`."""
+        from repro.stream.workers import MultiWorkerResult
+
+        return MultiWorkerResult(
+            algorithm=self.algorithm,
+            parts=self.parts,
+            k=self.k,
+            num_vertices=self.num_vertices,
+            num_edges=self.num_edges,
+            chunk_size=self.chunk_size,
+            report=self.report,
+            loads=self.loads,
+            replication_factor=self.replication_factor,
+            edge_balance=self.edge_balance,
+            runtime_s=self.runtime_s,
+        )

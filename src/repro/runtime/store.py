@@ -1,0 +1,271 @@
+"""Content-addressed artifact store for runtime results.
+
+A cache entry is keyed by ``sha256(spec.content_hash() + input
+digest)``: the spec hash covers every result-determining knob
+(:meth:`~repro.runtime.spec.JobSpec.content_hash`), the input digest
+covers the actual edge bytes (:func:`input_digest` — the file, every
+shard a manifest references, an in-memory Graph's arrays, or a
+dataset name with its scale environment).  Re-running an identical
+job therefore loads the saved assignment bit for bit, with zero
+partitioning stages executed; changing any semantic knob *or* the
+input content misses.
+
+Entries are directories under the store root (sharded by the key's
+first two hex chars, like git objects): ``parts.npy`` + ``loads.npy``
+hold the assignment, ``meta.json`` the canonical spec, metrics,
+phase breakdown, and worker report.  Writes go to a temp directory
+first and land via :func:`os.replace`, so concurrent or interrupted
+runs never expose a half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hep import HepPhaseBreakdown
+from repro.runtime.result import PartitionResult
+from repro.runtime.spec import JobSpec
+
+__all__ = ["ArtifactStore", "input_digest"]
+
+#: bumped when the on-disk entry layout changes (old entries then miss)
+STORE_FORMAT = 1
+
+_HASH_CHUNK = 1 << 20
+
+
+def _update_with_file(digest, path: Path) -> None:
+    """Fold a file's bytes into ``digest`` in bounded chunks."""
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(_HASH_CHUNK)
+            if not block:
+                break
+            digest.update(block)
+
+
+def input_digest(spec: JobSpec, source) -> str | None:
+    """Sha256 of the job's input *content*, or ``None`` if unhashable.
+
+    ``path`` inputs digest the file — and, for shard manifests, every
+    shard file it references, so editing any shard invalidates the
+    entry.  ``dataset`` inputs digest the name plus the ``REPRO_SCALE``
+    environment (the generators are deterministic given those).
+    ``graph`` inputs digest the edge array bytes.  Opaque sources
+    (already-open streams) are not content-addressable.
+    """
+    kind = spec.input.kind
+    digest = hashlib.sha256()
+    if kind == "graph":
+        digest.update(b"graph:")
+        digest.update(str(source.num_vertices).encode("utf-8"))
+        digest.update(np.ascontiguousarray(source.edges).tobytes())
+        return digest.hexdigest()
+    if kind == "dataset":
+        scale = os.environ.get("REPRO_SCALE", "")
+        digest.update(
+            f"dataset:{spec.input.path}:scale={scale}".encode("utf-8")
+        )
+        return digest.hexdigest()
+    if kind != "path":
+        return None
+    path = Path(spec.input.path)
+    if not path.exists():
+        return None
+    digest.update(b"path:")
+    _update_with_file(digest, path)
+    from repro.stream.shard import is_manifest_path, read_shard_manifest
+
+    if is_manifest_path(path):
+        manifest = read_shard_manifest(path)
+        for shard in manifest.shard_paths:
+            _update_with_file(digest, shard)
+    return digest.hexdigest()
+
+
+def _report_to_dict(report) -> dict | None:
+    """Serialize a MultiWorkerReport (timings included) to plain JSON."""
+    if report is None:
+        return None
+    timings = report.timings
+    return {
+        "workers": report.workers,
+        "batch": report.batch,
+        "supersteps": report.supersteps,
+        "edges_streamed": report.edges_streamed,
+        "fast_supersteps": report.fast_supersteps,
+        "slow_supersteps": report.slow_supersteps,
+        "timings": None if timings is None else {
+            "busy_s": list(timings.busy_s),
+            "wait_s": list(timings.wait_s),
+            "send_s": list(timings.send_s),
+            "coordinator_recv_s": timings.coordinator_recv_s,
+            "coordinator_merge_s": timings.coordinator_merge_s,
+            "coordinator_send_s": timings.coordinator_send_s,
+        },
+    }
+
+
+def _report_from_dict(data: dict | None):
+    """Rebuild a MultiWorkerReport from its JSON form."""
+    if data is None:
+        return None
+    from repro.stream.workers import MultiWorkerReport, WorkerTimings
+
+    timings = data.get("timings")
+    return MultiWorkerReport(
+        workers=data["workers"],
+        batch=data["batch"],
+        supersteps=data["supersteps"],
+        edges_streamed=data["edges_streamed"],
+        fast_supersteps=data["fast_supersteps"],
+        slow_supersteps=data["slow_supersteps"],
+        timings=None if timings is None else WorkerTimings(
+            busy_s=tuple(timings["busy_s"]),
+            wait_s=tuple(timings["wait_s"]),
+            send_s=tuple(timings["send_s"]),
+            coordinator_recv_s=timings["coordinator_recv_s"],
+            coordinator_merge_s=timings["coordinator_merge_s"],
+            coordinator_send_s=timings["coordinator_send_s"],
+        ),
+    )
+
+
+def _breakdown_to_dict(breakdown) -> dict | None:
+    """Serialize a HepPhaseBreakdown to plain JSON."""
+    if breakdown is None:
+        return None
+    return {
+        "num_edges": breakdown.num_edges,
+        "num_h2h_edges": breakdown.num_h2h_edges,
+        "num_inmemory_edges": breakdown.num_inmemory_edges,
+        "cleanup_removed_fraction": breakdown.cleanup_removed_fraction,
+        "spilled_edges": breakdown.spilled_edges,
+    }
+
+
+def _breakdown_from_dict(data: dict | None) -> HepPhaseBreakdown | None:
+    """Rebuild a HepPhaseBreakdown from its JSON form."""
+    if data is None:
+        return None
+    return HepPhaseBreakdown(**data)
+
+
+class ArtifactStore:
+    """Directory-backed, content-addressed cache of partition results.
+
+    ``hits``/``misses`` count lookups; the correctness tests assert a
+    second identical run recomputes nothing (its result's
+    ``stages_executed`` stays empty and ``hits`` goes to 1).
+    """
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def cache_key(self, spec: JobSpec, digest: str) -> str:
+        """Combine the spec hash and the input digest into the entry key."""
+        payload = f"{spec.content_hash()}:{digest}:fmt{STORE_FORMAT}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _entry_dir(self, key: str) -> Path:
+        """Directory an entry with ``key`` lives in (git-style sharding)."""
+        return self.root / key[:2] / key
+
+    def get(self, key: str, spec: JobSpec) -> PartitionResult | None:
+        """Load the cached result for ``key``, or ``None`` on a miss."""
+        entry = self._entry_dir(key)
+        meta_path = entry / "meta.json"
+        if not meta_path.exists():
+            self.misses += 1
+            return None
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            parts = np.load(entry / "parts.npy")
+            loads = np.load(entry / "loads.npy")
+        except (OSError, ValueError, KeyError):
+            # A torn or foreign entry is a miss, never an error.
+            self.misses += 1
+            return None
+        if meta.get("format") != STORE_FORMAT:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return PartitionResult(
+            spec=spec,
+            algorithm=meta["algorithm"],
+            parts=parts,
+            k=meta["k"],
+            num_vertices=meta["num_vertices"],
+            num_edges=meta["num_edges"],
+            chunk_size=meta["chunk_size"],
+            loads=loads,
+            replication_factor=meta["replication_factor"],
+            edge_balance=meta["edge_balance"],
+            runtime_s=0.0,
+            passes=meta["passes"],
+            tau=meta["tau"],
+            breakdown=_breakdown_from_dict(meta["breakdown"]),
+            spill_bytes=meta["spill_bytes"],
+            buffer_size=meta["buffer_size"],
+            projected_memory_bytes=meta["projected_memory_bytes"],
+            report=_report_from_dict(meta["report"]),
+            job_hash=meta["job_hash"],
+            cache_hit=True,
+            stages_executed=(),
+        )
+
+    def put(self, key: str, result: PartitionResult, digest: str) -> Path:
+        """Persist ``result`` under ``key`` (atomic directory rename)."""
+        entry = self._entry_dir(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        staging = Path(
+            tempfile.mkdtemp(prefix=".staging-", dir=entry.parent)
+        )
+        try:
+            np.save(staging / "parts.npy", result.parts)
+            np.save(staging / "loads.npy", result.loads)
+            meta = {
+                "format": STORE_FORMAT,
+                "job_hash": result.job_hash,
+                "input_digest": digest,
+                "spec": result.spec.to_dict(),
+                "algorithm": result.algorithm,
+                "k": result.k,
+                "num_vertices": result.num_vertices,
+                "num_edges": result.num_edges,
+                "chunk_size": result.chunk_size,
+                "passes": result.passes,
+                "tau": result.tau,
+                "spill_bytes": result.spill_bytes,
+                "buffer_size": result.buffer_size,
+                "projected_memory_bytes": result.projected_memory_bytes,
+                "replication_factor": result.replication_factor,
+                "edge_balance": result.edge_balance,
+                "runtime_s": result.runtime_s,
+                "breakdown": _breakdown_to_dict(result.breakdown),
+                "report": _report_to_dict(result.report),
+            }
+            (staging / "meta.json").write_text(
+                json.dumps(meta, indent=2, sort_keys=True),
+                encoding="utf-8",
+            )
+            if entry.exists():
+                shutil.rmtree(staging)
+            else:
+                try:
+                    os.replace(staging, entry)
+                except OSError:
+                    shutil.rmtree(staging, ignore_errors=True)
+        finally:
+            if staging.exists() and staging != entry:
+                shutil.rmtree(staging, ignore_errors=True)
+        return entry

@@ -32,31 +32,24 @@ same source.
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError, PartitioningError
-from repro.obs.tracer import get_tracer
-from repro.partition.base import PartitionAssignment, capacity_bound
+from repro.errors import ConfigurationError
+from repro.partition.base import PartitionAssignment
 from repro.partition.dbh import dbh_assign, repair_overflow
 from repro.partition.greedy import greedy_stream
 from repro.partition.grid import grid_cells, grid_shape, grid_stream
 from repro.partition.hdrf import hdrf_stream
 from repro.partition.restreaming import restream_block
 from repro.partition.state import StreamingState
-from repro.stream.parallel_scan import (
-    effective_scan_workers,
-    scan_quality,
-    scan_stats,
+from repro.runtime.registry import (
+    AlgorithmRegistryView,
+    create_algorithm,
+    register_streaming_algorithm,
 )
-from repro.stream.reader import (
-    DEFAULT_CHUNK_SIZE,
-    EdgeChunkSource,
-    PrefetchingEdgeSource,
-    open_edge_source,
-)
+from repro.stream.reader import DEFAULT_CHUNK_SIZE
 from repro.stream.scan import SourceStats
 
 __all__ = [
@@ -122,6 +115,7 @@ class StreamingAlgorithm(abc.ABC):
         return parts
 
 
+@register_streaming_algorithm("HDRF")
 class HdrfStreaming(StreamingAlgorithm):
     """HDRF over chunks — the standalone baseline, not HEP's phase two.
 
@@ -155,6 +149,7 @@ class HdrfStreaming(StreamingAlgorithm):
         hdrf_stream(self.state, pairs, eids, parts, lam=self.lam, eps=self.eps)
 
 
+@register_streaming_algorithm("Greedy")
 class GreedyStreaming(StreamingAlgorithm):
     """PowerGraph greedy placement over chunks (exact degrees upfront)."""
 
@@ -174,6 +169,7 @@ class GreedyStreaming(StreamingAlgorithm):
         greedy_stream(self.state, self.remaining, pairs, eids, parts)
 
 
+@register_streaming_algorithm("DBH")
 class DbhStreaming(StreamingAlgorithm):
     """Degree-based hashing over chunks (needs the counting-pass degrees)."""
 
@@ -198,6 +194,7 @@ class DbhStreaming(StreamingAlgorithm):
         return repair_overflow(parts, k, capacity)
 
 
+@register_streaming_algorithm("Grid")
 class GridStreaming(StreamingAlgorithm):
     """2-D constrained hashing over chunks (load counters persist)."""
 
@@ -223,6 +220,7 @@ class GridStreaming(StreamingAlgorithm):
         return repair_overflow(parts, k, capacity)
 
 
+@register_streaming_algorithm("Restreaming")
 class RestreamingHdrfStreaming(StreamingAlgorithm):
     """Multi-pass restreaming HDRF: each pass is one re-read of the source."""
 
@@ -260,26 +258,19 @@ class RestreamingHdrfStreaming(StreamingAlgorithm):
         )
 
 
-#: factory per ``--algo`` name (case-insensitive lookup via
-#: :func:`make_streaming_algorithm`)
-STREAMING_ALGORITHMS: dict[str, type[StreamingAlgorithm]] = {
-    "HDRF": HdrfStreaming,
-    "Greedy": GreedyStreaming,
-    "DBH": DbhStreaming,
-    "Grid": GridStreaming,
-    "Restreaming": RestreamingHdrfStreaming,
-}
+#: live name -> class view of the decorator registry
+#: (:mod:`repro.runtime.registry`); the pre-PR 8 mapping API, same names.
+STREAMING_ALGORITHMS = AlgorithmRegistryView()
 
 
 def make_streaming_algorithm(name: str, **kwargs) -> StreamingAlgorithm:
-    """Instantiate a streaming algorithm adapter from its table name."""
-    for key, factory in STREAMING_ALGORITHMS.items():
-        if key.lower() == name.lower():
-            return factory(**kwargs)
-    raise ConfigurationError(
-        f"unknown streaming algorithm {name!r}; available: "
-        f"{', '.join(STREAMING_ALGORITHMS)}"
-    )
+    """Instantiate a streaming algorithm adapter from its table name.
+
+    Kept as the historical spelling of
+    :func:`repro.runtime.registry.create_algorithm` (case-insensitive
+    lookup, same error message on unknown names).
+    """
+    return create_algorithm(name, **kwargs)
 
 
 class StreamingPartitionerDriver:
@@ -363,82 +354,39 @@ class StreamingPartitionerDriver:
 
         ``source`` is anything :func:`~repro.stream.reader.
         open_edge_source` accepts (edge file, dataset name, Graph, or an
-        existing source).  Stages: counting pass -> ``prepare`` ->
-        ``passes`` chunked sweeps through ``process`` -> ``finalize`` ->
-        chunked metrics pass.
+        existing source).  Since PR 8 this is a thin shim: it builds a
+        :class:`~repro.runtime.spec.JobSpec` from the constructor knobs
+        and delegates to :func:`repro.runtime.api.run_job` (passing the
+        already-validated adapter instance), then converts the unified
+        result back to the historical :class:`StreamedResult` — pinned
+        bit-identical to the pre-runtime driver by the equivalence
+        suites.
         """
-        if k < 2:
-            raise ConfigurationError(
-                f"streaming driver requires k >= 2, got {k}"
-            )
-        start = time.perf_counter()
-        tracer = get_tracer()
-        with tracer.span(
-            "partition", algo=self.name, k=k, source=str(source)
-        ):
-            src: EdgeChunkSource = open_edge_source(
-                source, self.chunk_size, order=self.order, seed=self.seed,
-                mmap=self.mmap,
-            )
-            if self.prefetch > 0:
-                src = PrefetchingEdgeSource(src, depth=self.prefetch)
-            warm = None
-            if self.shared_memory and effective_scan_workers(
-                source, self.metrics_workers
-            ):
-                # Deferred: workers -> pipeline would otherwise join this
-                # module's import path for the sequential-only case.
-                from repro.stream.workers import PersistentWorkerPool
-
-                warm = PersistentWorkerPool(self.metrics_workers)
-                warm.start()
-            try:
-                stats = scan_stats(
-                    source, src, self.metrics_workers, self.chunk_size,
-                    pool=warm,
-                )
-                if stats.num_edges == 0:
-                    raise PartitioningError(
-                        f"{self.algorithm.name}: edge stream is empty"
-                    )
-                capacity = capacity_bound(stats.num_edges, k, self.alpha)
-                algo = self.algorithm
-                algo.prepare(stats, k, capacity)
-                parts = np.full(stats.num_edges, -1, dtype=np.int32)
-                for sweep in range(algo.passes):
-                    with tracer.span(
-                        "stream_pass", algo=algo.name, sweep=sweep
-                    ) as span:
-                        for chunk in src:
-                            algo.process(chunk.pairs, chunk.eids, parts)
-                            span.add("edges_scanned", chunk.num_edges)
-                with tracer.span("finalize", algo=algo.name):
-                    parts = algo.finalize(parts, k, capacity)
-                rf, balance = scan_quality(
-                    source, src, stats, k, parts, self.metrics_workers,
-                    self.chunk_size, pool=warm,
-                )
-            finally:
-                if warm is not None:
-                    warm.shutdown()
-            source_stats = src.stats()
-            if tracer.enabled and source_stats:
-                tracer.event(
-                    "source_read", counters=source_stats,
-                    source=src.describe(),
-                )
-        result = StreamedResult(
-            algorithm=algo.name,
-            parts=parts,
-            k=k,
-            num_vertices=stats.num_vertices,
-            num_edges=stats.num_edges,
-            chunk_size=self.chunk_size,
-            passes=algo.passes,
-            loads=np.bincount(parts[parts >= 0], minlength=k).astype(np.int64),
-            replication_factor=rf,
-            edge_balance=balance,
-            runtime_s=time.perf_counter() - start,
+        # Deferred: repro.runtime.api pulls in the executor/stage layers,
+        # which this module must not require at import time.
+        from repro.runtime.api import run_job
+        from repro.runtime.registry import (
+            algorithm_params,
+            registered_algorithm_name,
         )
+        from repro.runtime.spec import InputSpec, JobSpec
+
+        name = registered_algorithm_name(self.algorithm) or self.algorithm.name
+        params = algorithm_params(self.algorithm) or ()
+        spec = JobSpec(
+            algo=name,
+            k=int(k),
+            input=InputSpec.from_source(
+                source, chunk_size=self.chunk_size, order=self.order,
+                seed=self.seed, prefetch=self.prefetch, mmap=self.mmap,
+            ),
+            algo_params=params,
+            alpha=self.alpha,
+            seed=self.seed,
+            metrics_workers=self.metrics_workers,
+            shared_memory=self.shared_memory,
+        )
+        outcome = run_job(spec, source=source, algorithm=self.algorithm)
+        result = outcome.to_streamed()
         self.last_result = result
         return result

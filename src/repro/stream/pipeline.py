@@ -36,29 +36,16 @@ property the test suite pins for every chunk size ≥ 1.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.hep import HepPhaseBreakdown, phase_two_capacity
-from repro.core.memory_model import hep_memory_bytes_from_entries
-from repro.core.ne_plus_plus import run_ne_plus_plus_on_csr
-from repro.core.tau import DEFAULT_TAU_GRID, select_from_footprints
-from repro.errors import ConfigurationError, PartitioningError
-from repro.graph.csr import CsrGraph
-from repro.obs.tracer import get_tracer
+from repro.core.hep import HepPhaseBreakdown
+from repro.core.tau import DEFAULT_TAU_GRID
+from repro.errors import ConfigurationError
 from repro.partition.base import PartitionAssignment
-from repro.partition.state import StreamingState
-from repro.stream.buffered import stream_chunks_through_hdrf
-from repro.stream.reader import (
-    DEFAULT_CHUNK_SIZE,
-    EdgeChunkSource,
-    PrefetchingEdgeSource,
-    open_edge_source,
-)
+from repro.stream.reader import DEFAULT_CHUNK_SIZE
 from repro.stream.scan import SourceStats, scan_source
-from repro.stream.spill import SpillFile
 
 __all__ = ["OutOfCoreHep", "OutOfCoreResult", "SourceStats", "scan_source"]
 
@@ -180,237 +167,63 @@ class OutOfCoreHep:
         self.order = order
         self.seed = seed
         self.last_result: OutOfCoreResult | None = None
-        self._warm_pool = None
         self.name = "HEP-ooc"
 
     # -- driver ------------------------------------------------------------
 
-    def _start_warm_pool(self, source):
-        """Hook: start a warm worker pool for the run, or return ``None``.
+    def _job_spec(self, source, k: int):
+        """Lower the constructor knobs to a runtime JobSpec.
 
-        The base pipeline runs its sweeps sequentially or on cold pools,
-        so it returns ``None``.  :class:`~repro.stream.workers.
-        MultiWorkerHep` overrides this to return a started
-        :class:`~repro.stream.workers.PersistentWorkerPool` that the
-        counting pass, the phase-two stream, and the metrics pass all
-        reuse; :meth:`partition` stashes it as ``_warm_pool`` and shuts
-        it down when the run ends.
+        ``shared_memory=False`` preserves this driver's historical scan
+        behavior (sequential sweeps or cold per-pass pools — no warm
+        pool);  :class:`~repro.stream.workers.MultiWorkerHep` overrides
+        the execution-shape fields on top of this spec.
         """
-        return None
+        from repro.runtime.spec import InputSpec, JobSpec
+
+        return JobSpec(
+            algo="HEP",
+            k=int(k),
+            input=InputSpec.from_source(
+                source, chunk_size=self.chunk_size, order=self.order,
+                seed=self.seed, prefetch=self.prefetch, mmap=self.mmap,
+            ),
+            algo_params=(("eps", self.eps), ("lam", self.lam)),
+            alpha=self.alpha,
+            seed=self.seed,
+            tau=self.tau,
+            memory_budget=self.memory_budget,
+            tau_grid=tuple(self.tau_grid),
+            id_bytes=self.id_bytes,
+            buffer_size=self.buffer_size,
+            spill_dir=self.spill_dir,
+            spill_compression=self.spill_compression,
+            metrics_workers=self.metrics_workers,
+            shared_memory=False,
+            mp_context=getattr(self, "mp_context", None),
+        )
+
+    def _absorb(self, outcome) -> None:
+        """Hook: pick extra fields off the runtime result (subclasses)."""
 
     def partition(self, source, k: int) -> OutOfCoreResult:
         """Run the full pipeline; ``source`` is anything
-        :func:`~repro.stream.reader.open_edge_source` accepts."""
-        if k < 2:
-            raise ConfigurationError(f"out-of-core HEP requires k >= 2, got {k}")
-        tracer = get_tracer()
-        start = time.perf_counter()
-        with tracer.span(
-            "partition", algo=self.name, k=k, source=str(source),
-        ):
-            src = open_edge_source(
-                source, self.chunk_size, order=self.order, seed=self.seed,
-                mmap=self.mmap,
-            )
-            if self.prefetch > 0:
-                src = PrefetchingEdgeSource(src, depth=self.prefetch)
-            # MultiWorkerHep carries a start-method choice for its BSP pool;
-            # the scan pools must honor the same one (fork-unsafe hosts).
-            mp_context = getattr(self, "mp_context", None)
-            warm = self._start_warm_pool(source)
-            self._warm_pool = warm
-            try:
-                return self._partition_with_pool(
-                    source, src, k, warm, mp_context, tracer, start,
-                )
-            finally:
-                self._warm_pool = None
-                if warm is not None:
-                    warm.shutdown()
+        :func:`~repro.stream.reader.open_edge_source` accepts.
 
-    def _partition_with_pool(
-        self, source, src, k: int, warm, mp_context, tracer, start: float
-    ) -> OutOfCoreResult:
-        """Pipeline body once the source and (optional) warm pool exist."""
-        # Deferred: parallel_scan -> workers -> this module (MultiWorkerHep
-        # subclasses OutOfCoreHep), so a top-level import would cycle.
-        from repro.stream.parallel_scan import scan_quality, scan_stats
+        Since PR 8 this is a thin shim over
+        :func:`repro.runtime.api.run_job`: the constructor knobs become
+        a :class:`~repro.runtime.spec.JobSpec`, the runtime executes the
+        planned ``count -> select_tau -> split -> phase_one -> stream ->
+        metrics`` stages, and the unified result converts back to the
+        historical :class:`OutOfCoreResult` — pinned bit-identical to
+        the pre-runtime pipeline by the equivalence suites.
+        """
+        # Deferred: repro.runtime.api pulls in the executor/stage layers,
+        # which this module must not require at import time.
+        from repro.runtime.api import run_job
 
-        stats = scan_stats(
-            source, src, self.metrics_workers, self.chunk_size,
-            mp_context=mp_context, pool=warm,
-        )
-        if stats.num_edges == 0:
-            raise PartitioningError(
-                "out-of-core HEP: edge stream is empty"
-            )
-
-        projected: int | None = None
-        if self.tau is not None:
-            tau = self.tau
-        elif self.memory_budget is not None:
-            with tracer.span("select_tau", budget=self.memory_budget):
-                tau, projected = self._select_tau(src, stats, k)
-        else:
-            tau = 10.0
-
-        threshold = tau * stats.mean_degree
-        high = stats.degrees > threshold
-
-        with SpillFile(
-            dir=self.spill_dir, compression=self.spill_compression
-        ) as spill:
-            with tracer.span("split_pass", tau=tau) as span:
-                csr = self._split_and_build(src, stats, high, spill)
-                span.add("edges_scanned", stats.num_edges)
-                span.add("spill_bytes", spill.nbytes)
-            with tracer.span("phase_one", k=k):
-                phase_one = run_ne_plus_plus_on_csr(csr, k, tau=tau)
-            parts = phase_one.parts
-            loads = phase_one.loads.copy()
-            if len(spill):
-                with tracer.span(
-                    "stream_pass", phase="spill"
-                ) as span:
-                    loads = self._stream_spill(
-                        spill, stats, k, phase_one, parts
-                    )
-                    span.add("edges_scanned", len(spill))
-                    span.add("spill_bytes", spill.nbytes)
-            spill_bytes = spill.nbytes
-            num_h2h = len(spill)
-
-        breakdown = HepPhaseBreakdown(
-            num_edges=stats.num_edges,
-            num_h2h_edges=num_h2h,
-            num_inmemory_edges=stats.num_edges - num_h2h,
-            cleanup_removed_fraction=(
-                phase_one.stats.cleanup_removed_fraction
-            ),
-            spilled_edges=phase_one.stats.spilled_edges,
-        )
-        rf, balance = scan_quality(
-            source, src, stats, k, parts, self.metrics_workers,
-            self.chunk_size, memory_budget=self.memory_budget,
-            mp_context=mp_context, pool=warm,
-        )
-        source_stats = src.stats()
-        if tracer.enabled and source_stats:
-            tracer.event(
-                "source_read", counters=source_stats,
-                source=src.describe(),
-            )
-        result = OutOfCoreResult(
-            parts=parts,
-            k=k,
-            tau=tau,
-            num_vertices=stats.num_vertices,
-            num_edges=stats.num_edges,
-            chunk_size=self.chunk_size,
-            buffer_size=self.buffer_size,
-            breakdown=breakdown,
-            spill_bytes=spill_bytes,
-            loads=loads,
-            replication_factor=rf,
-            edge_balance=balance,
-            projected_memory_bytes=projected,
-            runtime_s=time.perf_counter() - start,
-        )
+        outcome = run_job(self._job_spec(source, k), source=source)
+        self._absorb(outcome)
+        result = outcome.to_out_of_core()
         self.last_result = result
         return result
-
-    # -- stages ------------------------------------------------------------
-
-    def _select_tau(
-        self, src: EdgeChunkSource, stats: SourceStats, k: int
-    ) -> tuple[float, int]:
-        """Largest grid ``tau`` whose projected footprint fits the budget.
-
-        The per-tau column-entry counts (2 per low/low edge, 1 per mixed
-        edge) are accumulated chunk by chunk — the streaming equivalent
-        of :func:`~repro.core.memory_model.pruned_column_entries`.
-        """
-        taus = np.asarray(sorted(self.tau_grid), dtype=np.float64)
-        thresholds = taus * stats.mean_degree
-        # (t, n) high-degree masks: one row per candidate tau.
-        high = stats.degrees[None, :] > thresholds[:, None]
-        entries = np.zeros(taus.size, dtype=np.int64)
-        for chunk in src:
-            hu = high[:, chunk.pairs[:, 0]]
-            hv = high[:, chunk.pairs[:, 1]]
-            low_low = (~hu & ~hv).sum(axis=1)
-            mixed = (hu ^ hv).sum(axis=1)
-            entries += 2 * low_low + mixed
-        footprints = [
-            hep_memory_bytes_from_entries(
-                count, stats.num_vertices, k, self.id_bytes
-            )
-            for count in entries.tolist()
-        ]
-        return select_from_footprints(
-            taus.tolist(), footprints, self.memory_budget
-        )
-
-    def _split_and_build(
-        self,
-        src: EdgeChunkSource,
-        stats: SourceStats,
-        high: np.ndarray,
-        spill: SpillFile,
-    ) -> CsrGraph:
-        """Splitting pass: h2h chunks to disk, kept chunks into the CSR."""
-        kept_pairs: list[np.ndarray] = []
-        kept_eids: list[np.ndarray] = []
-        for chunk in src:
-            hu = high[chunk.pairs[:, 0]]
-            hv = high[chunk.pairs[:, 1]]
-            h2h = hu & hv
-            spill.append(chunk.pairs[h2h], chunk.eids[h2h])
-            keep = ~h2h
-            if keep.any():
-                kept_pairs.append(chunk.pairs[keep])
-                kept_eids.append(chunk.eids[keep])
-        if kept_pairs:
-            pairs = np.vstack(kept_pairs)
-            eids = np.concatenate(kept_eids)
-        else:
-            pairs = np.empty((0, 2), dtype=np.int64)
-            eids = np.empty(0, dtype=np.int64)
-        return CsrGraph.from_arrays(
-            num_vertices=stats.num_vertices,
-            pairs=pairs,
-            eids=eids,
-            degrees=stats.degrees,
-            high_mask=high,
-            num_edges_total=stats.num_edges,
-        )
-
-    def _stream_spill(
-        self,
-        spill: SpillFile,
-        stats: SourceStats,
-        k: int,
-        phase_one,
-        parts: np.ndarray,
-    ) -> np.ndarray:
-        """Phase two: informed HDRF over the spilled h2h chunks."""
-        capacity = phase_two_capacity(
-            stats.num_edges, k, self.alpha, phase_one.loads
-        )
-        state = StreamingState.informed_arrays(
-            stats.num_vertices,
-            stats.degrees,
-            k,
-            capacity,
-            replicas=phase_one.secondary,
-            loads=phase_one.loads,
-        )
-        stream_chunks_through_hdrf(
-            state,
-            spill.chunks(self.chunk_size),
-            parts,
-            lam=self.lam,
-            eps=self.eps,
-            buffer_size=self.buffer_size,
-        )
-        return state.loads

@@ -53,7 +53,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -61,11 +60,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import (
-    ConfigurationError,
-    PartitioningError,
-    WorkerFailureError,
-)
+from repro.errors import ConfigurationError, WorkerFailureError
 from repro.obs.tracer import get_tracer, install_collecting_tracer
 from repro.parallel.kernel import (
     FusedBatchScorer,
@@ -78,14 +73,9 @@ from repro.parallel.kernel import (
     superstep_is_safe,
 )
 from repro.parallel.shm import SharedState
-from repro.partition.base import capacity_bound
 from repro.partition.state import StreamingState
 from repro.stream.pipeline import OutOfCoreHep
-from repro.stream.reader import (
-    DEFAULT_CHUNK_SIZE,
-    PrefetchingEdgeSource,
-    open_edge_source,
-)
+from repro.stream.reader import DEFAULT_CHUNK_SIZE
 # (the counting/metrics front doors are imported lazily inside the
 # drivers: repro.stream.parallel_scan builds on this module's pools)
 from repro.stream.shard import (
@@ -1680,98 +1670,36 @@ class MultiWorkerStreamingDriver:
         self.name = f"HDRF-mw{workers}"
 
     def partition(self, source, k: int) -> MultiWorkerResult:
-        """Partition ``source`` (a manifest or flat binary edge file)."""
-        if k < 2:
-            raise ConfigurationError(
-                f"multi-worker partitioning requires k >= 2, got {k}"
-            )
-        # Deferred: parallel_scan imports this module's pool machinery.
-        from repro.stream.parallel_scan import scan_quality, scan_stats
+        """Partition ``source`` (a manifest or flat binary edge file).
 
-        tracer = get_tracer()
-        start = time.perf_counter()
-        with tracer.span(
-            "partition", algo=self.name, k=k, workers=self.workers,
-            source=str(source),
-        ):
-            segments, _, num_edges, _ = plan_worker_segments(
-                source, self.workers
-            )
-            if num_edges == 0:
-                raise PartitioningError(
-                    "multi-worker HDRF: edge stream is empty"
-                )
-            # Warm pool (shared-memory mode): spawned once here, before
-            # any big arrays exist, and reused by the counting pass, the
-            # BSP stream, and the metrics pass alike.
-            warm: PersistentWorkerPool | None = None
-            if self.shared_memory:
-                warm = PersistentWorkerPool(
-                    self.workers, mp_context=self.mp_context,
-                    timeout=self.timeout,
-                )
-                warm.start()
-            try:
-                src = open_edge_source(source, self.chunk_size)
-                if self.prefetch > 0:
-                    src = PrefetchingEdgeSource(src, depth=self.prefetch)
-                # No timeout forwarding: self.timeout is the BSP
-                # per-superstep watchdog; the scan front doors widen the
-                # warm pool's watchdog to their whole-sweep default.
-                stats = scan_stats(
-                    source, src, self.metrics_workers, self.chunk_size,
-                    mp_context=self.mp_context, pool=warm,
-                )
-                capacity = capacity_bound(stats.num_edges, k, self.alpha)
-                state = StreamingState(
-                    stats.num_vertices, k, capacity,
-                    exact_degrees=stats.degrees,
-                )
-                parts = np.full(stats.num_edges, -1, dtype=np.int32)
-                if warm is not None:
-                    report = run_bsp_shared(
-                        warm, segments, state, parts,
-                        batch=self.batch, lam=self.lam, eps=self.eps,
-                        chunk_size=self.chunk_size,
-                    )
-                else:
-                    with WorkerPool(
-                        segments,
-                        state,
-                        batch=self.batch,
-                        lam=self.lam,
-                        eps=self.eps,
-                        chunk_size=self.chunk_size,
-                        mp_context=self.mp_context,
-                        timeout=self.timeout,
-                    ) as pool:
-                        report = pool.run(parts)
-                rf, balance = scan_quality(
-                    source, src, stats, k, parts, self.metrics_workers,
-                    self.chunk_size, mp_context=self.mp_context, pool=warm,
-                )
-            finally:
-                if warm is not None:
-                    warm.shutdown()
-            source_stats = src.stats()
-            if tracer.enabled and source_stats:
-                tracer.event(
-                    "source_read", counters=source_stats,
-                    source=src.describe(),
-                )
-        result = MultiWorkerResult(
-            algorithm=f"HDRF-mw{self.workers}",
-            parts=parts,
-            k=k,
-            num_vertices=stats.num_vertices,
-            num_edges=stats.num_edges,
-            chunk_size=self.chunk_size,
-            report=report,
-            loads=state.loads.copy(),
-            replication_factor=rf,
-            edge_balance=balance,
-            runtime_s=time.perf_counter() - start,
+        Since PR 8 this is a thin shim: the constructor knobs become a
+        :class:`~repro.runtime.spec.JobSpec` (``workers >= 1`` selects
+        the :class:`~repro.runtime.executor.PoolExecutor`, which plans
+        the shard assignment and runs the BSP schedule exactly as this
+        method used to), and the unified result converts back to the
+        historical :class:`MultiWorkerResult` — pinned bit-identical by
+        the shm/pipes/in-process equivalence suites.
+        """
+        from repro.runtime.api import run_job
+        from repro.runtime.spec import InputSpec, JobSpec
+
+        spec = JobSpec(
+            algo="HDRF",
+            k=int(k),
+            input=InputSpec.from_source(
+                source, chunk_size=self.chunk_size, prefetch=self.prefetch,
+            ),
+            algo_params=(("eps", self.eps), ("lam", self.lam)),
+            alpha=self.alpha,
+            workers=self.workers,
+            batch=self.batch,
+            metrics_workers=self.metrics_workers,
+            shared_memory=self.shared_memory,
+            mp_context=self.mp_context,
+            timeout=self.timeout,
         )
+        outcome = run_job(spec, source=source)
+        result = outcome.to_multi_worker()
         self.last_result = result
         return result
 
@@ -1827,74 +1755,26 @@ class MultiWorkerHep(OutOfCoreHep):
         self.last_report = None
         return super().partition(source, k)
 
-    def _start_warm_pool(self, source) -> "PersistentWorkerPool | None":
-        """Spawn the warm pool every pass of this run shares.
+    def _job_spec(self, source, k: int):
+        """The sequential HEP spec with this driver's execution shape.
 
-        The pipeline stashes it as ``_warm_pool``, hands it to the
-        counting/metrics front doors, and shuts it down when the run
-        ends; :meth:`_stream_spill` runs phase two on it over shared
-        memory.  ``shared_memory=False`` returns ``None`` — every pass
-        then uses the per-run pipe pools.
+        ``workers >= 1`` makes the runtime pick the
+        :class:`~repro.runtime.executor.PoolExecutor`, whose spill
+        stream deals the h2h edges round-robin into per-worker segments
+        and runs them under the BSP schedule — exactly what this class's
+        ``_stream_spill`` override used to do.
         """
-        if not self.shared_memory:
-            return None
-        pool = PersistentWorkerPool(
-            self.workers, mp_context=self.mp_context, timeout=self.timeout
-        )
-        pool.start()
-        return pool
+        import dataclasses
 
-    def _stream_spill(
-        self,
-        spill: SpillFile,
-        stats,
-        k: int,
-        phase_one,
-        parts: np.ndarray,
-    ) -> np.ndarray:
-        """Phase two: informed HDRF over per-worker spill segments."""
-        from repro.core.hep import phase_two_capacity
+        return dataclasses.replace(
+            super()._job_spec(source, k),
+            workers=self.workers,
+            batch=self.batch,
+            mp_context=self.mp_context,
+            timeout=self.timeout,
+            shared_memory=self.shared_memory,
+        )
 
-        capacity = phase_two_capacity(
-            stats.num_edges, k, self.alpha, phase_one.loads
-        )
-        state = StreamingState.informed_arrays(
-            stats.num_vertices,
-            stats.degrees,
-            k,
-            capacity,
-            replicas=phase_one.secondary,
-            loads=phase_one.loads,
-        )
-        with tempfile.TemporaryDirectory(
-            prefix="mw-h2h-", dir=self.spill_dir
-        ) as tmp:
-            with get_tracer().span(
-                "split_spill", workers=self.workers
-            ) as span:
-                segments = split_spill_round_robin(
-                    spill, self.workers, tmp, self.chunk_size,
-                    compression=self.spill_compression,
-                )
-                span.add("spill_bytes", spill.nbytes)
-                span.add("spill_records", len(spill))
-            warm = getattr(self, "_warm_pool", None)
-            if warm is not None:
-                self.last_report = run_bsp_shared(
-                    warm, segments, state, parts,
-                    batch=self.batch, lam=self.lam, eps=self.eps,
-                    chunk_size=self.chunk_size,
-                )
-            else:
-                with WorkerPool(
-                    segments,
-                    state,
-                    batch=self.batch,
-                    lam=self.lam,
-                    eps=self.eps,
-                    chunk_size=self.chunk_size,
-                    mp_context=self.mp_context,
-                    timeout=self.timeout,
-                ) as pool:
-                    self.last_report = pool.run(parts)
-        return state.loads
+    def _absorb(self, outcome) -> None:
+        """Keep the BSP report the runtime produced for ``last_report``."""
+        self.last_report = outcome.report

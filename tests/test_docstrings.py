@@ -1,7 +1,8 @@
 """Docstring lint for the documented public API.
 
 The ``repro.stream``, ``repro.partition``, ``repro.graph``, ``repro.
-core``, ``repro.parallel``, ``repro.metrics`` and ``repro.obs`` packages are the
+core``, ``repro.parallel``, ``repro.metrics``, ``repro.obs`` and
+``repro.runtime`` packages are the
 repo's documented surface (see docs/): every module and every public
 class, function, method and property there must carry a docstring.  CI additionally runs
 ``ruff check`` with the pydocstyle ``D1`` rules over the same paths
@@ -22,6 +23,7 @@ import repro
 _SRC = Path(repro.__file__).resolve().parent
 _LINTED_PACKAGES = (
     "stream", "partition", "graph", "core", "parallel", "metrics", "obs",
+    "runtime",
 )
 
 

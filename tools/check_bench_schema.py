@@ -3,7 +3,8 @@
 
 Checks ``results/BENCH_workers.json`` (``benchmarks/bench_workers.py``)
 and ``results/BENCH_scan.json`` (``benchmarks/bench_scan.py``), so a
-bench refactor that drops a protocol row, loses ``cpu_count``, or stops
+bench refactor that drops a protocol row (including the PR 8
+cached-vs-cold artifact-store pair), loses ``cpu_count``, or stops
 emitting the warm-pool configuration fails the build instead of
 silently degrading the artifacts the README points at.
 
@@ -75,16 +76,24 @@ def validate_workers_record(record: dict) -> None:
     for i, row in enumerate(rows):
         try:
             protocol = _require(row, "protocol", str)
-            if protocol not in ("sequential", "shared-memory", "pipes"):
+            if protocol not in (
+                "sequential", "shared-memory", "pipes", "cold", "cached"
+            ):
                 raise SchemaError(f"unknown protocol {protocol!r}")
             _require(row, "rf", float, positive=True)
             _require(row, "speedup_vs_single_worker", float, positive=True)
         except SchemaError as exc:
             raise SchemaError(f"rows[{i}]: {exc}") from None
         protocols.add(protocol)
-    for needed in ("sequential", "shared-memory", "pipes"):
+    for needed in ("sequential", "shared-memory", "pipes", "cold", "cached"):
         if needed not in protocols:
             raise SchemaError(f"no {needed!r} row — protocol pairing lost")
+    by_protocol = {row["protocol"]: row for row in rows}
+    if by_protocol["cached"]["rf"] != by_protocol["cold"]["rf"]:
+        raise SchemaError(
+            "the 'cached' row's rf differs from the 'cold' row's — the "
+            "artifact store did not return the stored assignment"
+        )
 
 
 def validate_scan_record(record: dict) -> None:
