@@ -568,6 +568,33 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: partitioning as a service (see docs/serve.md).
+
+    Runs the asyncio service until SIGTERM/SIGINT and drains
+    gracefully: queued jobs cancel, a running job stops at its next
+    stage boundary, warm pools shut down, shared segments unlink.  With
+    ``--self-test SOURCE`` the service instead starts on an ephemeral
+    port, exercises itself end to end over HTTP (submit twice → one
+    execution + a dedup hit, progress events, lookups), and exits.
+    """
+    import asyncio
+
+    if args.self_test is not None:
+        from repro.serve.selftest import run_self_test
+
+        return asyncio.run(run_self_test(
+            args.self_test, args.cache, algo=args.algo, k=args.k,
+            workers=args.workers,
+        ))
+    from repro.serve.app import serve_forever
+
+    return asyncio.run(serve_forever(
+        args.cache, host=args.host, port=args.port,
+        queue_size=args.queue_size, lru=args.artifact_lru,
+    ))
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.id not in REGISTRY:
         print(f"unknown experiment {args.id!r}; available: {', '.join(REGISTRY)}")
@@ -852,6 +879,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p2.add_argument("file", help="trace JSONL file written by --trace")
     p2.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="partitioning as a service: submit/poll/lookup over HTTP",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8642,
+                   help="bind port (default 8642; 0 = ephemeral)")
+    p.add_argument("--cache", default="serve-cache", metavar="DIR",
+                   help="artifact-store root completed jobs land in "
+                        "(default serve-cache)")
+    p.add_argument("--queue-size", type=int, default=16, metavar="N",
+                   help="max pending jobs before submits get 503")
+    p.add_argument("--artifact-lru", type=int, default=4, metavar="N",
+                   help="attached artifacts kept hot for lookups")
+    p.add_argument("--self-test", default=None, metavar="SOURCE",
+                   help="start on an ephemeral port, exercise the "
+                        "service end to end against SOURCE, and exit")
+    p.add_argument("--algo", default="HDRF",
+                   help="self-test algorithm (default HDRF)")
+    p.add_argument("--k", type=int, default=8,
+                   help="self-test partition count (default 8)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="self-test worker processes (default 2)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("id", help=f"one of: {', '.join(REGISTRY)}")

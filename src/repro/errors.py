@@ -33,6 +33,15 @@ class WorkerFailureError(PartitioningError):
     error); the message names the worker and the shard/segment it owned."""
 
 
+class JobCancelledError(ReproError):
+    """A runtime job was cancelled between planned stages.
+
+    Raised by :func:`repro.runtime.api.run_job` when the caller-supplied
+    cancellation event is set at a stage boundary; no partial artifact
+    is persisted and the next identical submit recomputes cleanly.
+    """
+
+
 class ValidationError(ReproError, AssertionError):
     """A partitioning result violates a structural invariant."""
 

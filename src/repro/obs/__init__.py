@@ -21,6 +21,7 @@ nothing when tracing is off.
 
 from __future__ import annotations
 
+from repro.obs.bridge import SpanEventBridge, progress_event
 from repro.obs.summary import (
     PROFILE_PHASES,
     aggregate_spans,
@@ -47,8 +48,10 @@ __all__ = [
     "TRACE_VERSION",
     "NullTracer",
     "Span",
+    "SpanEventBridge",
     "Tracer",
     "aggregate_spans",
+    "progress_event",
     "format_summary",
     "get_tracer",
     "phase_breakdown",

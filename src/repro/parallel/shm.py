@@ -161,11 +161,22 @@ class SharedArray:
 
     @classmethod
     def create(cls, array: np.ndarray) -> "SharedArray":
-        """Publish a copy of ``array`` in a fresh shared segment."""
+        """Publish a copy of ``array`` in a fresh shared segment.
+
+        If anything — including an interrupt — lands between segment
+        creation and the return, the segment is closed and unlinked
+        before the exception propagates: a name the caller never saw
+        is a name the caller can never clean up.
+        """
         array = np.ascontiguousarray(array)
         shm = _create_untracked(max(int(array.nbytes), 1))
-        shared = cls(shm, array.shape, array.dtype, owner=True)
-        shared.array[...] = array
+        try:
+            shared = cls(shm, array.shape, array.dtype, owner=True)
+            shared.array[...] = array
+        except BaseException:
+            _close_quietly(shm)
+            _unlink_quietly(shm)
+            raise
         return shared
 
     @classmethod
@@ -316,11 +327,18 @@ class SharedState:
             )
         size = cls.segment_bytes(num_vertices, k, workers, batch)
         shm = _create_untracked(max(size, 1))
-        state = cls(shm, num_vertices, k, workers, batch, owner=True)
-        state._degrees[...] = degrees
-        for index in range(2):
-            state._loads[index][...] = loads
-            state._replicas[index][...] = replicas
+        try:
+            state = cls(shm, num_vertices, k, workers, batch, owner=True)
+            state._degrees[...] = degrees
+            for index in range(2):
+                state._loads[index][...] = loads
+                state._replicas[index][...] = replicas
+        except BaseException:
+            # An interrupt mid-seed must not orphan a segment whose
+            # name the caller never learned (see the leak gates).
+            _close_quietly(shm)
+            _unlink_quietly(shm)
+            raise
         return state
 
     @classmethod

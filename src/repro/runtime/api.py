@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, JobCancelledError
 from repro.obs.tracer import get_tracer
 from repro.runtime.plan import pipeline_kind, plan_job
 from repro.runtime.registry import create_algorithm
@@ -95,7 +95,15 @@ def _names(spec: JobSpec, algorithm) -> tuple[str, str]:
     return f"{algorithm.name}-ooc", algorithm.name
 
 
-def _execute(spec: JobSpec, source, algorithm=None) -> PartitionResult:
+def _check_cancel(cancel, spec: JobSpec, where: str) -> None:
+    """Raise :class:`JobCancelledError` if ``cancel`` is set."""
+    if cancel is not None and cancel.is_set():
+        raise JobCancelledError(
+            f"job {spec.content_hash()[:12]} cancelled before {where}"
+        )
+
+
+def _execute(spec: JobSpec, source, algorithm=None, cancel=None) -> PartitionResult:
     """Run the planned stages; the body mirrors the pre-PR 8 drivers."""
     from repro.runtime.executor import select_executor
     from repro.stream.reader import PrefetchingEdgeSource, open_edge_source
@@ -127,8 +135,11 @@ def _execute(spec: JobSpec, source, algorithm=None) -> PartitionResult:
         attrs["workers"] = spec.workers
     attrs["source"] = str(source)
     with tracer.span("partition", **attrs):
-        executor.prepare(spec, ctx)
         try:
+            # prepare() may spawn a warm worker pool; keeping it inside
+            # the try guarantees finish() reaps that pool even when an
+            # interrupt lands mid-prepare.
+            executor.prepare(spec, ctx)
             src = open_edge_source(
                 source, spec.chunk_size, order=spec.input.order,
                 seed=spec.input.seed, mmap=spec.input.mmap,
@@ -138,6 +149,7 @@ def _execute(spec: JobSpec, source, algorithm=None) -> PartitionResult:
             ctx.src = src
             executor.start(spec, ctx)
             for stage in plan.stages:
+                _check_cancel(cancel, spec, f"stage {stage.name!r}")
                 stage.fn(spec, ctx, executor)
                 ctx.executed.append(stage.name)
         finally:
@@ -176,7 +188,7 @@ def _execute(spec: JobSpec, source, algorithm=None) -> PartitionResult:
 
 
 def run_job(
-    spec: JobSpec, source=None, *, store=None, algorithm=None
+    spec: JobSpec, source=None, *, store=None, algorithm=None, cancel=None
 ) -> PartitionResult:
     """Run one partitioning job described by ``spec``.
 
@@ -201,6 +213,11 @@ def run_job(
         one their constructor already validated); by default the
         adapter is created from the registry using ``spec.algo`` and
         ``spec.params``.
+    cancel:
+        Optional :class:`threading.Event`-like object.  When set, the
+        run raises :class:`~repro.errors.JobCancelledError` at the next
+        stage boundary; a cancelled run persists nothing, so an
+        identical resubmit recomputes from scratch.
     """
     validate_spec(spec)
     resolved = source if source is not None else _default_source(spec)
@@ -227,7 +244,8 @@ def run_job(
                     str(spec.trace_path) if spec.trace_path else None
                 )
                 return cached
-    result = _execute(spec, resolved, algorithm=algorithm)
+    _check_cancel(cancel, spec, "planning")
+    result = _execute(spec, resolved, algorithm=algorithm, cancel=cancel)
     if key is not None:
         store.put(key, result, digest)
     return result

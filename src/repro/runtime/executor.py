@@ -108,9 +108,11 @@ class InProcessExecutor(Executor):
         ):
             from repro.stream.workers import PersistentWorkerPool
 
+            # Registered on the context *before* start(): if an
+            # interrupt lands mid-spawn, finish() still reaps it.
             pool = PersistentWorkerPool(spec.metrics_workers)
-            pool.start()
             ctx.pool = pool
+            pool.start()
 
     def stream_source(self, spec: JobSpec, ctx: RunContext) -> None:
         """Chunked sweeps through the algorithm adapter (one per pass)."""
@@ -191,8 +193,10 @@ class PoolExecutor(Executor):
         pool = PersistentWorkerPool(
             spec.workers, mp_context=spec.mp_context, timeout=spec.timeout
         )
-        pool.start()
+        # Registered on the context *before* start(): if an interrupt
+        # lands mid-spawn, finish() still reaps it.
         ctx.pool = pool
+        pool.start()
 
     def _run_bsp(self, spec: JobSpec, segments, state, parts, ctx):
         """One BSP run over ``segments``: warm shared-memory or pipe pool."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import shutil
 import tempfile
@@ -35,8 +36,13 @@ from repro.runtime.spec import JobSpec
 
 __all__ = ["ArtifactStore", "input_digest"]
 
+_LOG = logging.getLogger("repro.runtime.store")
+
 #: bumped when the on-disk entry layout changes (old entries then miss)
 STORE_FORMAT = 1
+
+#: subdirectory of the store root that corrupt entries are moved into
+QUARANTINE_DIR = "quarantine"
 
 _HASH_CHUNK = 1 << 20
 
@@ -164,12 +170,19 @@ class ArtifactStore:
     ``hits``/``misses`` count lookups; the correctness tests assert a
     second identical run recomputes nothing (its result's
     ``stages_executed`` stays empty and ``hits`` goes to 1).
+
+    The store is safe for concurrent writers: entries land via a single
+    atomic directory rename, a concurrently-created identical entry is
+    treated as a benign win (content addressing makes both writers'
+    payloads byte-equal), and a torn entry left by a crashed writer is
+    quarantined on first read instead of raised.
     """
 
     def __init__(self, root: "str | os.PathLike") -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def cache_key(self, spec: JobSpec, digest: str) -> str:
         """Combine the spec hash and the input digest into the entry key."""
@@ -180,8 +193,47 @@ class ArtifactStore:
         """Directory an entry with ``key`` lives in (git-style sharding)."""
         return self.root / key[:2] / key
 
+    def entry_path(self, key: str) -> Path:
+        """Public path of the entry dir for ``key`` (read-side consumers)."""
+        return self._entry_dir(key)
+
+    def _quarantine(self, entry: Path, key: str, exc: Exception) -> None:
+        """Move a torn entry dir aside so it never shadows a clean write.
+
+        A crashed writer can only leave a bad entry if the rename in
+        :meth:`put` landed a directory whose files were later truncated
+        (e.g. by a dying filesystem); rather than re-reading the same
+        garbage on every lookup, the entry moves to
+        ``root/quarantine/<key>-<n>`` for post-mortem inspection and the
+        key becomes writable again.
+        """
+        dest_root = self.root / QUARANTINE_DIR
+        try:
+            dest_root.mkdir(parents=True, exist_ok=True)
+            suffix = 0
+            while True:
+                dest = dest_root / f"{key}-{suffix}"
+                if not dest.exists():
+                    break
+                suffix += 1
+            os.replace(entry, dest)
+        except OSError:
+            # Another process quarantined (or repaired) it first; either
+            # way the entry is no longer ours to move.
+            return
+        self.quarantined += 1
+        _LOG.warning(
+            "quarantined corrupt cache entry %s -> %s (%s: %s)",
+            entry, dest, type(exc).__name__, exc,
+        )
+
     def get(self, key: str, spec: JobSpec) -> PartitionResult | None:
-        """Load the cached result for ``key``, or ``None`` on a miss."""
+        """Load the cached result for ``key``, or ``None`` on a miss.
+
+        A corrupt or truncated entry (half-written ``meta.json``,
+        torn ``.npy``) is logged, quarantined under
+        ``root/quarantine/``, and counted as a miss — never raised.
+        """
         entry = self._entry_dir(key)
         meta_path = entry / "meta.json"
         if not meta_path.exists():
@@ -189,43 +241,74 @@ class ArtifactStore:
             return None
         try:
             meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            if meta.get("format") != STORE_FORMAT:
+                # A valid entry written by a different layout version:
+                # plain miss, not corruption — leave it in place.
+                self.misses += 1
+                return None
             parts = np.load(entry / "parts.npy")
             loads = np.load(entry / "loads.npy")
-        except (OSError, ValueError, KeyError):
-            # A torn or foreign entry is a miss, never an error.
+            result = PartitionResult(
+                spec=spec,
+                algorithm=meta["algorithm"],
+                parts=parts,
+                k=meta["k"],
+                num_vertices=meta["num_vertices"],
+                num_edges=meta["num_edges"],
+                chunk_size=meta["chunk_size"],
+                loads=loads,
+                replication_factor=meta["replication_factor"],
+                edge_balance=meta["edge_balance"],
+                runtime_s=0.0,
+                passes=meta["passes"],
+                tau=meta["tau"],
+                breakdown=_breakdown_from_dict(meta["breakdown"]),
+                spill_bytes=meta["spill_bytes"],
+                buffer_size=meta["buffer_size"],
+                projected_memory_bytes=meta["projected_memory_bytes"],
+                report=_report_from_dict(meta["report"]),
+                job_hash=meta["job_hash"],
+                cache_hit=True,
+                stages_executed=(),
+            )
+        except (OSError, ValueError, KeyError, EOFError, TypeError) as exc:
             self.misses += 1
-            return None
-        if meta.get("format") != STORE_FORMAT:
-            self.misses += 1
+            self._quarantine(entry, key, exc)
             return None
         self.hits += 1
-        return PartitionResult(
-            spec=spec,
-            algorithm=meta["algorithm"],
-            parts=parts,
-            k=meta["k"],
-            num_vertices=meta["num_vertices"],
-            num_edges=meta["num_edges"],
-            chunk_size=meta["chunk_size"],
-            loads=loads,
-            replication_factor=meta["replication_factor"],
-            edge_balance=meta["edge_balance"],
-            runtime_s=0.0,
-            passes=meta["passes"],
-            tau=meta["tau"],
-            breakdown=_breakdown_from_dict(meta["breakdown"]),
-            spill_bytes=meta["spill_bytes"],
-            buffer_size=meta["buffer_size"],
-            projected_memory_bytes=meta["projected_memory_bytes"],
-            report=_report_from_dict(meta["report"]),
-            job_hash=meta["job_hash"],
-            cache_hit=True,
-            stages_executed=(),
-        )
+        return result
+
+    def read_meta(self, key: str) -> dict | None:
+        """Return the raw ``meta.json`` dict for ``key``, or ``None``.
+
+        Read-side consumers (the serve layer's artifact cache) use this
+        to recover the stored spec and quality summary without
+        reconstructing a full :class:`PartitionResult`.
+        """
+        meta_path = self._entry_dir(key) / "meta.json"
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if meta.get("format") != STORE_FORMAT:
+            return None
+        return meta
 
     def put(self, key: str, result: PartitionResult, digest: str) -> Path:
-        """Persist ``result`` under ``key`` (atomic directory rename)."""
+        """Persist ``result`` under ``key`` (atomic directory rename).
+
+        Safe under concurrent writers racing on the same key: both
+        stage into private temp directories, and whichever
+        ``os.replace`` lands first wins.  Because the key is
+        content-addressed the loser's payload is byte-identical, so
+        losing the rename is a benign outcome — the losing staging dir
+        is cleaned up and the surviving entry returned.
+        """
         entry = self._entry_dir(key)
+        if (entry / "meta.json").exists():
+            # Entry already present (an earlier run, or a concurrent
+            # writer that finished before we staged anything).
+            return entry
         entry.parent.mkdir(parents=True, exist_ok=True)
         staging = Path(
             tempfile.mkdtemp(prefix=".staging-", dir=entry.parent)
@@ -258,13 +341,15 @@ class ArtifactStore:
                 json.dumps(meta, indent=2, sort_keys=True),
                 encoding="utf-8",
             )
-            if entry.exists():
-                shutil.rmtree(staging)
-            else:
-                try:
-                    os.replace(staging, entry)
-                except OSError:
-                    shutil.rmtree(staging, ignore_errors=True)
+            try:
+                os.replace(staging, entry)
+            except OSError as exc:
+                # os.replace only renames onto an *empty* directory, so
+                # a concurrent writer landing first makes this raise
+                # (ENOTEMPTY/EEXIST).  Same key, same content: their
+                # entry is as good as ours — benign win for them.
+                if not (entry / "meta.json").exists():
+                    raise exc
         finally:
             if staging.exists() and staging != entry:
                 shutil.rmtree(staging, ignore_errors=True)

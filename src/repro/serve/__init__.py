@@ -1,0 +1,51 @@
+"""Partitioning as a service: asyncio job queue over the runtime layer.
+
+``repro.serve`` turns :func:`~repro.runtime.api.run_job` into a
+long-lived, multi-client service (``python -m repro serve``):
+
+* **submit** — POST an edge-file/manifest path + algo + ``k`` (+ any
+  spec knob) and get a job id derived from the spec's content hash and
+  the input digest; identical in-flight submits deduplicate onto one
+  execution, and completed results are served from the content-
+  addressed :class:`~repro.runtime.store.ArtifactStore` without
+  re-partitioning,
+* **watch** — progress events derived live from :mod:`repro.obs` trace
+  spans stream over NDJSON while the job runs,
+* **read** — ``edge → part`` / ``vertex → parts`` lookups and quality
+  summaries answer at interactive latency from an LRU of attached
+  artifacts.
+
+The package is stdlib-only: :mod:`repro.serve.app` carries a minimal
+ASGI-style application plus an :mod:`asyncio` HTTP server, so no web
+framework is required (but the app object speaks ASGI 3 if one is
+around).  See ``docs/serve.md`` for the walkthrough.
+"""
+
+from __future__ import annotations
+
+from repro.serve.app import App, Request, Response, create_app, run_app
+from repro.serve.artifacts import ArtifactCache, AttachedArtifact
+from repro.serve.events import EventLog
+from repro.serve.queue import (
+    Job,
+    JobManager,
+    JobState,
+    QueueFullError,
+    SubmitError,
+)
+
+__all__ = [
+    "App",
+    "ArtifactCache",
+    "AttachedArtifact",
+    "EventLog",
+    "Job",
+    "JobManager",
+    "JobState",
+    "QueueFullError",
+    "Request",
+    "Response",
+    "SubmitError",
+    "create_app",
+    "run_app",
+]

@@ -1,0 +1,142 @@
+"""Attached artifacts: interactive lookups over stored assignments.
+
+A completed job's assignment lives in the
+:class:`~repro.runtime.store.ArtifactStore` as ``parts.npy`` +
+``loads.npy`` + ``meta.json``.  Point lookups (``edge → part``,
+``vertex → parts``) and quality summaries should answer in
+microseconds, not re-open the store per request — so the service keeps
+a small LRU (:class:`ArtifactCache`) of :class:`AttachedArtifact`
+objects: the parts array mapped once, the stored quality summary
+parsed once, and a ``k × n`` vertex→parts cover built lazily on the
+first vertex lookup by streaming the input a single time.
+
+Everything here is synchronous and thread-safe-by-construction (reads
+of immutable arrays); the handlers run the blocking attach/build steps
+on the event loop's default executor.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+from repro.runtime.store import ArtifactStore
+
+__all__ = ["ArtifactCache", "AttachedArtifact"]
+
+
+class AttachedArtifact:
+    """One stored assignment, loaded for point lookups."""
+
+    def __init__(self, key: str, meta: dict[str, Any],
+                 parts: np.ndarray, loads: np.ndarray) -> None:
+        """Wrap the loaded entry files; cover building is deferred."""
+        self.key = key
+        self.meta = meta
+        self.parts = parts
+        self.loads = loads
+        self.k = int(meta["k"])
+        self.num_vertices = int(meta["num_vertices"])
+        self.num_edges = int(meta["num_edges"])
+        self._cover: np.ndarray | None = None
+        self._cover_lock = threading.Lock()
+
+    def edge_part(self, eid: int) -> int:
+        """Partition of edge ``eid`` (``-1`` = unassigned)."""
+        if not 0 <= eid < len(self.parts):
+            raise ConfigurationError(
+                f"edge id {eid} out of range [0, {len(self.parts)})"
+            )
+        return int(self.parts[eid])
+
+    def quality(self) -> dict[str, Any]:
+        """The stored (stream-computed) quality summary."""
+        return {
+            "k": self.k,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "replication_factor": self.meta["replication_factor"],
+            "edge_balance": self.meta["edge_balance"],
+            "loads": [int(x) for x in self.loads],
+            "tau": self.meta.get("tau"),
+            "algorithm": self.meta.get("algorithm"),
+        }
+
+    def _build_cover(self) -> np.ndarray:
+        """One streaming pass over the input → ``k × n`` bool cover."""
+        from repro.stream.reader import open_edge_source
+
+        source = (self.meta.get("spec") or {}).get("input", {}).get("path")
+        if not source:
+            raise ConfigurationError(
+                "stored entry names no input path; vertex lookups need "
+                "the original edge source"
+            )
+        chunk_size = (self.meta.get("spec") or {}).get("chunk_size", 65536)
+        cover = np.zeros((self.k, self.num_vertices), dtype=bool)
+        parts = self.parts
+        for chunk in open_edge_source(source, chunk_size):
+            p = parts[chunk.eids]
+            mask = p >= 0
+            if not mask.any():
+                continue
+            pm = p[mask]
+            cover[pm, chunk.pairs[mask, 0]] = True
+            cover[pm, chunk.pairs[mask, 1]] = True
+        return cover
+
+    def vertex_parts(self, vertex: int) -> list[int]:
+        """Partitions whose edge set touches ``vertex`` (its replicas)."""
+        if not 0 <= vertex < self.num_vertices:
+            raise ConfigurationError(
+                f"vertex {vertex} out of range [0, {self.num_vertices})"
+            )
+        with self._cover_lock:
+            if self._cover is None:
+                self._cover = self._build_cover()
+        return [int(p) for p in np.flatnonzero(self._cover[:, vertex])]
+
+
+class ArtifactCache:
+    """LRU of :class:`AttachedArtifact` keyed by store cache key."""
+
+    def __init__(self, store: ArtifactStore, capacity: int = 4) -> None:
+        """Bind to ``store``; hold at most ``capacity`` attachments."""
+        if capacity < 1:
+            raise ConfigurationError(
+                f"artifact cache capacity must be >= 1, got {capacity}"
+            )
+        self.store = store
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, AttachedArtifact]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        """Number of artifacts currently attached."""
+        with self._lock:
+            return len(self._entries)
+
+    def attach(self, key: str) -> AttachedArtifact:
+        """Return the attached artifact for ``key``, loading on miss."""
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                return cached
+        meta = self.store.read_meta(key)
+        if meta is None:
+            raise ReproError(f"no stored artifact for key {key}")
+        entry = self.store.entry_path(key)
+        parts = np.load(entry / "parts.npy")
+        loads = np.load(entry / "loads.npy")
+        artifact = AttachedArtifact(key, meta, parts, loads)
+        with self._lock:
+            self._entries[key] = artifact
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return artifact

@@ -1,0 +1,91 @@
+"""Per-job progress-event logs with async fan-out to subscribers.
+
+Each job owns one :class:`EventLog`: an append-only, sequence-numbered
+list of small JSON-able dicts.  The runner thread appends through
+:meth:`EventLog.append_threadsafe` (a ``call_soon_threadsafe`` hop onto
+the service's event loop); any number of streaming clients await
+:meth:`EventLog.wait_beyond` concurrently and each sees every event
+exactly once, in order.  Closing the log wakes all waiters a final
+time, so streams terminate as soon as the job reaches a terminal
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """Append-only event list with sequence numbers and async waiting."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Bind the log to the service's event loop."""
+        self._loop = loop
+        self._events: list[dict[str, Any]] = []
+        self._closed = False
+        self._waiters: list[asyncio.Future] = []
+
+    def __len__(self) -> int:
+        """Number of events appended so far."""
+        return len(self._events)
+
+    @property
+    def closed(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self._closed
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    def append(self, event: dict[str, Any]) -> None:
+        """Append one event (event-loop thread only) and wake waiters."""
+        event = dict(event)
+        event["seq"] = len(self._events)
+        self._events.append(event)
+        self._wake()
+
+    def append_threadsafe(self, event: dict[str, Any]) -> None:
+        """Append from any thread by hopping onto the event loop."""
+        try:
+            self._loop.call_soon_threadsafe(self.append, event)
+        except RuntimeError:
+            # Loop already closed (service shutting down): drop quietly.
+            pass
+
+    def close(self) -> None:
+        """Mark the log complete and release every pending waiter."""
+        self._closed = True
+        self._wake()
+
+    def close_threadsafe(self) -> None:
+        """Close from any thread by hopping onto the event loop."""
+        try:
+            self._loop.call_soon_threadsafe(self.close)
+        except RuntimeError:
+            pass
+
+    def snapshot(self, since: int = 0) -> list[dict[str, Any]]:
+        """Events with ``seq >= since`` (no waiting)."""
+        return list(self._events[since:])
+
+    async def wait_beyond(self, since: int) -> list[dict[str, Any]]:
+        """Await events past ``since``; empty list means the log closed.
+
+        Returns as soon as at least one event with ``seq >= since``
+        exists.  When the log closes with nothing further, the empty
+        list tells streamers to finish.
+        """
+        while True:
+            if len(self._events) > since:
+                return list(self._events[since:])
+            if self._closed:
+                return []
+            waiter: asyncio.Future = self._loop.create_future()
+            self._waiters.append(waiter)
+            await waiter

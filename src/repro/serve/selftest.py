@@ -1,0 +1,165 @@
+"""End-to-end self-exercise of the service, over real HTTP.
+
+``python -m repro serve --self-test <source>`` starts the full service
+on an ephemeral port, then acts as its own client: it submits the same
+job twice (asserting exactly one execution and a dedup hit), waits for
+completion while reading the progress-event stream, resubmits after
+completion (asserting the answer comes from the finished record, not a
+re-partition), exercises the ``edge → part`` / ``vertex → parts`` /
+quality endpoints, and shuts the service down cleanly.  CI runs this
+verbatim from the README quickstart; any violated expectation exits
+non-zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.errors import ReproError
+from repro.runtime.store import ArtifactStore
+from repro.serve.app import create_app, run_app
+from repro.serve.artifacts import ArtifactCache
+from repro.serve.queue import JobManager, JobState
+
+__all__ = ["http_request", "run_self_test"]
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: "dict | None" = None,
+) -> tuple[int, bytes]:
+    """One ``Connection: close`` HTTP exchange; ``(status, body bytes)``."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else b""
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    header_blob, _, body_bytes = raw.partition(b"\r\n\r\n")
+    status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split(" ", 2)[1])
+    return status, body_bytes
+
+
+def _check(condition: bool, what: str) -> None:
+    """Raise a :class:`ReproError` naming the violated expectation."""
+    if not condition:
+        raise ReproError(f"serve self-test failed: {what}")
+
+
+async def _json_request(host: str, port: int, method: str, path: str,
+                        body: "dict | None" = None) -> tuple[int, Any]:
+    """An :func:`http_request` whose body parses as one JSON document."""
+    status, blob = await http_request(host, port, method, path, body)
+    return status, (json.loads(blob) if blob.strip() else {})
+
+
+async def run_self_test(
+    source: str,
+    cache_dir: str,
+    algo: str = "HDRF",
+    k: int = 8,
+    workers: int = 2,
+) -> int:
+    """Start the service, run the scripted client against it, tear down."""
+    loop = asyncio.get_running_loop()
+    store = ArtifactStore(cache_dir)
+    manager = JobManager(store, loop=loop)
+    cache = ArtifactCache(store)
+    app = create_app(manager, cache)
+    await manager.start()
+    server = await run_app(app, host="127.0.0.1", port=0)
+    host, port = server.sockets[0].getsockname()[:2]
+    print(f"repro serve: self-test against http://{host}:{port}", flush=True)
+    payload = {"source": source, "algo": algo, "k": k, "workers": workers}
+    try:
+        status, first = await _json_request(host, port, "POST", "/jobs",
+                                            payload)
+        _check(status == 201, f"first submit returned {status}")
+        job_id = first["id"]
+        status, second = await _json_request(host, port, "POST", "/jobs",
+                                             payload)
+        _check(status == 200, f"second submit returned {status}")
+        _check(second["id"] == job_id, "dedup returned a different job id")
+        _check(second["deduped"], "second submit did not dedup")
+        deadline = loop.time() + 300.0
+        while True:
+            status, doc = await _json_request(host, port, "GET",
+                                              f"/jobs/{job_id}")
+            _check(status == 200, f"poll returned {status}")
+            if doc["state"] in JobState.TERMINAL:
+                break
+            _check(loop.time() < deadline, "job did not finish in 300s")
+            await asyncio.sleep(0.2)
+        _check(
+            doc["state"] == JobState.SUCCEEDED,
+            f"job finished {doc['state']}: {doc.get('error')}",
+        )
+        _check(manager.executions == 1,
+               f"{manager.executions} executions for 2 submits")
+        status, blob = await http_request(
+            host, port, "GET", f"/jobs/{job_id}/events?wait=0"
+        )
+        _check(status == 200, f"events returned {status}")
+        events = [json.loads(line) for line in blob.splitlines() if line]
+        spans = [e for e in events if e.get("event") == "span"]
+        dedups = [e for e in events if e.get("event") == "dedup"]
+        partitions = [e for e in spans if e.get("span") == "partition"]
+        _check(len(partitions) == 1,
+               f"{len(partitions)} partition spans for one execution")
+        _check(len(dedups) >= 1, "no dedup progress event recorded")
+        status, third = await _json_request(host, port, "POST", "/jobs",
+                                            payload)
+        _check(status == 200 and third["deduped"],
+               "post-completion resubmit did not reuse the finished job")
+        _check(manager.executions == 1,
+               "post-completion resubmit re-executed the pipeline")
+        status, edge = await _json_request(
+            host, port, "GET", f"/jobs/{job_id}/edge/0"
+        )
+        _check(status == 200 and 0 <= edge["part"] < k,
+               f"edge lookup answered {edge}")
+        status, vertex = await _json_request(
+            host, port, "GET", f"/jobs/{job_id}/vertex/0"
+        )
+        _check(status == 200 and isinstance(vertex["parts"], list),
+               f"vertex lookup answered {vertex}")
+        status, quality = await _json_request(
+            host, port, "GET", f"/jobs/{job_id}/quality"
+        )
+        _check(status == 200 and quality["replication_factor"] >= 1.0,
+               f"quality lookup answered {quality}")
+        status, health = await _json_request(host, port, "GET", "/healthz")
+        _check(status == 200 and health["status"] == "ok",
+               f"healthz answered {health}")
+        print(
+            f"serve self-test: ok (1 execution, {len(dedups)} dedup "
+            f"hit(s), rf={quality['replication_factor']:.4f}, "
+            f"balance={quality['edge_balance']:.4f})",
+            flush=True,
+        )
+    finally:
+        server.close()
+        await server.wait_closed()
+        await manager.shutdown()
+    return 0

@@ -591,11 +591,15 @@ def _pooled_chunked_quality(
     blocks = plan_cover_blocks(stats.num_vertices, k, memory_budget)
     _, padded = _pooled_fan(source, workers, pool)
     parts = np.ascontiguousarray(parts)
-    shared_parts = SharedArray.create(parts)
     replicas = 0
     saved_timeout = pool.timeout
     pool.timeout = max(saved_timeout, DEFAULT_SCAN_TIMEOUT)
+    # Created inside the try: an interrupt landing after create() —
+    # even before the pool round starts — must still reach the
+    # finally-unlink.
+    shared_parts = None
     try:
+        shared_parts = SharedArray.create(parts)
         with get_tracer().span(
             "pool_run", pool="cover", workers=len(padded),
             blocks=len(blocks),
@@ -627,8 +631,9 @@ def _pooled_chunked_quality(
             span.add("bytes_piped", pool.bytes_recv - bytes0)
     finally:
         pool.timeout = saved_timeout
-        shared_parts.close()
-        shared_parts.unlink()
+        if shared_parts is not None:
+            shared_parts.close()
+            shared_parts.unlink()
     covered = int((stats.degrees > 0).sum())
     rf = float(replicas / covered) if covered else 0.0
     balance = float(sizes.max() / (stats.num_edges / k))

@@ -54,6 +54,7 @@ import multiprocessing
 import os
 import pickle
 import time
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -753,6 +754,21 @@ class StateService:
         return us, vs, ps
 
 
+#: every started, not-yet-closed pool, for service-level health checks
+#: (weak references: a pool dropped without close() must not pin itself)
+_LIVE_POOLS: "weakref.WeakSet[BaseWorkerPool]" = weakref.WeakSet()
+
+
+def live_pool_health() -> list[dict]:
+    """Health snapshots of every started, not-yet-closed worker pool.
+
+    The serve layer's ``/healthz`` endpoint surfaces this: a healthy
+    idle service reports no live pools; during a run it reports the
+    active pool with every worker alive.
+    """
+    return [pool.health() for pool in list(_LIVE_POOLS)]
+
+
 class BaseWorkerPool:
     """Lifecycle shared by every segment-sweeping worker-process pool.
 
@@ -855,14 +871,32 @@ class BaseWorkerPool:
             for parent_end, child_end in pipes:
                 child_end.close()
                 self._conns.append(parent_end)
+        _LIVE_POOLS.add(self)
 
     @property
     def pids(self) -> list[int]:
         """Worker process ids (for monitoring and failure injection)."""
         return [proc.pid for proc in self._procs]
 
+    def health(self) -> dict:
+        """Liveness snapshot: pool type, worker count, per-worker state.
+
+        ``healthy`` is true iff every spawned worker process is still
+        alive.  A never-started or closed pool reports zero workers and
+        counts as healthy (nothing to be dead).
+        """
+        alive = [proc.is_alive() for proc in self._procs]
+        return {
+            "pool": type(self).__name__,
+            "workers": len(self._procs),
+            "alive": alive,
+            "pids": [proc.pid for proc in self._procs],
+            "healthy": all(alive),
+        }
+
     def close(self) -> None:
         """Terminate and join every worker; close every pipe. Idempotent."""
+        _LIVE_POOLS.discard(self)
         for conn in self._conns:
             try:
                 conn.close()
@@ -1232,16 +1266,20 @@ class PersistentWorkerPool(BaseWorkerPool):
 
         Idempotent, and safe after failures: workers that already died
         are skipped and :meth:`BaseWorkerPool.close` terminates any
-        straggler.
+        straggler.  The graceful drain (send ``SHUTDOWN``, join) runs
+        under a ``finally``-guarded :meth:`close`, so an interrupt
+        delivered mid-drain still terminates every process.
         """
-        for conn in self._conns:
-            try:
-                conn.send_bytes(_pack_message(_MSG_SHUTDOWN, 0))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-        self.close()
+        try:
+            for conn in self._conns:
+                try:
+                    conn.send_bytes(_pack_message(_MSG_SHUTDOWN, 0))
+                except (BrokenPipeError, OSError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+        finally:
+            self.close()
 
 
 def run_bsp_shared(
@@ -1291,14 +1329,6 @@ def run_bsp_shared(
     padded += [[] for _ in range(pool.workers - workers)]
     tracer = get_tracer()
     perf = time.perf_counter
-    with tracer.span(
-        "shm_attach", side="coordinator", workers=workers, batch=batch
-    ) as span:
-        shared = SharedState.create(
-            state.num_vertices, state.k, workers, batch,
-            state.degrees, state.replicas, state.loads,
-        )
-        span.add("shm_bytes", shared.nbytes)
     service = StateService(state, parts, workers, batch)
     supersteps = fast = slow = 0
     merge_s = commit_s = encode_s = send_s = 0.0
@@ -1310,7 +1340,19 @@ def run_bsp_shared(
     recv0 = pool.recv_wait_s
     frames0 = pool.frames_recv
     bytes0 = pool.bytes_recv
+    # The segment is created *inside* the try so an interrupt landing
+    # anywhere after creation — including between create() and the
+    # superstep loop — still reaches the finally-unlink below.
+    shared = None
     try:
+        with tracer.span(
+            "shm_attach", side="coordinator", workers=workers, batch=batch
+        ) as span:
+            shared = SharedState.create(
+                state.num_vertices, state.k, workers, batch,
+                state.degrees, state.replicas, state.loads,
+            )
+            span.add("shm_bytes", shared.nbytes)
         with tracer.span(
             "pool_run", pool="bsp-shm", workers=workers, batch=batch,
         ) as span:
@@ -1430,8 +1472,9 @@ def run_bsp_shared(
         # fast-path delta lists) so the segment can unmap.
         eids = us = vs = extra = None  # noqa: F841
         delta_us = delta_vs = delta_ps = None  # noqa: F841
-        shared.close()
-        shared.unlink()
+        if shared is not None:
+            shared.close()
+            shared.unlink()
     timings = WorkerTimings(
         busy_s=tuple(
             worker_timings.get(w, (0.0, 0.0, 0.0))[0]

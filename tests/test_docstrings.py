@@ -23,7 +23,7 @@ import repro
 _SRC = Path(repro.__file__).resolve().parent
 _LINTED_PACKAGES = (
     "stream", "partition", "graph", "core", "parallel", "metrics", "obs",
-    "runtime",
+    "runtime", "serve",
 )
 
 
